@@ -1,0 +1,25 @@
+//! # autograd — tape-based reverse-mode automatic differentiation
+//!
+//! A compact autodiff engine over [`tensor::Matrix`], sufficient to train
+//! every model in this repository: the TableDC autoencoder with its
+//! Mahalanobis/Cauchy clustering head, and the SDCN/DFCN/DCRN/EDESC/SHGP
+//! baselines (including GCN layers, which enter the graph through constant
+//! sparse-times-dense products materialized by `crates/graph`).
+//!
+//! ## Design
+//!
+//! * A [`Tape`] owns a flat vector of nodes; [`Var`] is a `Copy` index into
+//!   it. One tape is built per forward pass and dropped afterwards, so
+//!   memory stays bounded during training.
+//! * Each node records its operation as an explicit [`Op`] variant rather
+//!   than a boxed closure; the whole backward pass is a single `match`,
+//!   which keeps gradients auditable and the engine allocation-light.
+//! * Gradients are validated against central finite differences both in
+//!   unit tests and property tests (see [`check::finite_difference_grad`]).
+
+pub mod check;
+pub mod ops;
+mod tape;
+
+pub use ops::LinearOperator;
+pub use tape::{Gradients, Tape, Var};

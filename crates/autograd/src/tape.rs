@@ -1,0 +1,428 @@
+//! The tape: forward-pass recording and the reverse sweep.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tensor::distance::sq_euclidean_cdist;
+use tensor::Matrix;
+
+use crate::ops::{LinearOperator, Op};
+
+/// Handle to a node on a [`Tape`]. Cheap to copy; only meaningful together
+/// with the tape that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A gradient tape. Build one per forward pass, call the op methods to
+/// record the computation, call [`Tape::backward`] on a scalar loss, then
+/// read parameter gradients with [`Tape::grad`].
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value entered the tape");
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var(nodes.len() - 1)
+    }
+
+    /// Registers an input/parameter node.
+    pub fn leaf(&self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Registers a constant. Identical to [`Tape::leaf`] today (its gradient
+    /// is simply never read); kept separate for intent at call sites.
+    pub fn constant(&self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Copies the value of a node out of the tape.
+    pub fn value(&self, v: Var) -> Matrix {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes.borrow()[v.0].value.shape()
+    }
+
+    /// Runs `f` with a borrow of the node's value, avoiding a clone.
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.nodes.borrow()[v.0].value)
+    }
+
+    // ---- binary ops -----------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            &n[a.0].value + &n[b.0].value
+        };
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            &n[a.0].value - &n[b.0].value
+        };
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            &n[a.0].value * &n[b.0].value
+        };
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            &n[a.0].value / &n[b.0].value
+        };
+        self.push(v, Op::Div(a.0, b.0))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            n[a.0].value.matmul(&n[b.0].value)
+        };
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Adds a `1×c` bias row to every row of an `n×c` matrix.
+    pub fn add_row_broadcast(&self, a: Var, bias: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            let b = &n[bias.0].value;
+            assert_eq!(b.rows(), 1, "add_row_broadcast: bias must be 1×c");
+            n[a.0].value.add_row_broadcast(b.row(0))
+        };
+        self.push(v, Op::AddRowBroadcast(a.0, bias.0))
+    }
+
+    // ---- scalar / unary ops ----------------------------------------------
+
+    /// Multiplies by a constant scalar.
+    pub fn scale(&self, a: Var, s: f64) -> Var {
+        let v = { &self.nodes.borrow()[a.0].value * s };
+        self.push(v, Op::Scale(a.0, s))
+    }
+
+    /// Adds a constant scalar to every element.
+    pub fn add_scalar(&self, a: Var, s: f64) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(|x| x + s) };
+        self.push(v, Op::AddScalar(a.0))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        let v = { -&self.nodes.borrow()[a.0].value };
+        self.push(v, Op::Neg(a.0))
+    }
+
+    /// ReLU.
+    pub fn relu(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.max_scalar(0.0) };
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp())) };
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(f64::tanh) };
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(f64::exp) };
+        self.push(v, Op::Exp(a.0))
+    }
+
+    /// Elementwise natural log. The caller must guarantee positivity (use
+    /// [`Tape::add_scalar`] with an epsilon first when needed).
+    pub fn ln(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(f64::ln) };
+        self.push(v, Op::Ln(a.0))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(f64::sqrt) };
+        self.push(v, Op::Sqrt(a.0))
+    }
+
+    /// Elementwise power with a constant exponent.
+    pub fn pow_scalar(&self, a: Var, p: f64) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.map(|x| x.powf(p)) };
+        self.push(v, Op::PowScalar(a.0, p))
+    }
+
+    /// Elementwise square — sugar for `pow_scalar(a, 2.0)` with an exact
+    /// backward rule.
+    pub fn square(&self, a: Var) -> Var {
+        self.pow_scalar(a, 2.0)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.transpose() };
+        self.push(v, Op::Transpose(a.0))
+    }
+
+    /// Row-wise softmax (paper Eq. 9).
+    pub fn softmax_rows(&self, a: Var) -> Var {
+        let v = { self.nodes.borrow()[a.0].value.softmax_rows() };
+        self.push(v, Op::SoftmaxRows(a.0))
+    }
+
+    // ---- reductions -------------------------------------------------------
+
+    /// Sum of all elements → 1×1.
+    pub fn sum(&self, a: Var) -> Var {
+        let v = { Matrix::full(1, 1, self.nodes.borrow()[a.0].value.sum()) };
+        self.push(v, Op::Sum(a.0))
+    }
+
+    /// Mean of all elements → 1×1.
+    pub fn mean(&self, a: Var) -> Var {
+        let v = { Matrix::full(1, 1, self.nodes.borrow()[a.0].value.mean()) };
+        self.push(v, Op::Mean(a.0))
+    }
+
+    /// Per-row sums → n×1.
+    pub fn row_sums(&self, a: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            let sums = n[a.0].value.row_sums();
+            Matrix::from_vec(sums.len(), 1, sums)
+        };
+        self.push(v, Op::RowSums(a.0))
+    }
+
+    /// Divides each row of `a` (n×k) by the corresponding entry of `b`
+    /// (n×1) — the row-normalization of soft assignments (paper Eq. 8).
+    pub fn div_col_broadcast(&self, a: Var, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            let va = &n[a.0].value;
+            let vb = &n[b.0].value;
+            assert_eq!(vb.cols(), 1, "div_col_broadcast: divisor must be n×1");
+            assert_eq!(va.rows(), vb.rows(), "div_col_broadcast: row counts differ");
+            let mut out = va.clone();
+            for i in 0..out.rows() {
+                let d = vb[(i, 0)];
+                for x in out.row_mut(i) {
+                    *x /= d;
+                }
+            }
+            out
+        };
+        self.push(v, Op::DivColBroadcast(a.0, b.0))
+    }
+
+    /// Pairwise squared Euclidean distances between rows of `x` (n×d) and
+    /// rows of `c` (k×d) → n×k. Differentiable w.r.t. both point sets: this
+    /// is the primitive under every distance kernel in TableDC and the
+    /// baselines (Mahalanobis distances are taken in a whitened space, so
+    /// they also reduce to this op).
+    pub fn sq_dist_cdist(&self, x: Var, c: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            sq_euclidean_cdist(&n[x.0].value, &n[c.0].value)
+        };
+        self.push(v, Op::SqDistCdist(x.0, c.0))
+    }
+
+    /// Applies a constant linear operator on the left: `lin · b`. Used for
+    /// sparse graph convolutions `Â·H`.
+    pub fn apply_left(&self, lin: Rc<dyn LinearOperator>, b: Var) -> Var {
+        let v = {
+            let n = self.nodes.borrow();
+            lin.apply(&n[b.0].value)
+        };
+        self.push(v, Op::ApplyLeft(lin, b.0))
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Runs the reverse sweep from a scalar (1×1) `loss` node and returns
+    /// the gradient of every node. Gradients of nodes that do not influence
+    /// the loss are zero matrices.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not 1×1.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let nodes = self.nodes.borrow();
+        assert_eq!(nodes[loss.0].value.shape(), (1, 1), "backward: loss must be a 1×1 scalar");
+        let mut grads: Vec<Option<Matrix>> = vec![None; nodes.len()];
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+
+        // Collect values once for the Op::backward interface.
+        // (Borrowing each lazily would fight the RefCell; a straight slice
+        // of values is simpler and the clone below is shallow — we only
+        // build a Vec of references via split access.)
+        let values: Vec<Matrix> = nodes.iter().map(|n| n.value.clone()).collect();
+
+        for id in (0..nodes.len()).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            let node = &nodes[id];
+            node.op.backward(&node.value, &g, &values, &mut |pid, delta| {
+                match &mut grads[pid] {
+                    Some(existing) => {
+                        debug_assert_eq!(existing.shape(), delta.shape());
+                        *existing = &*existing + &delta;
+                    }
+                    slot @ None => *slot = Some(delta),
+                }
+            });
+            grads[id] = Some(g);
+        }
+
+        Gradients { grads, shapes: values.iter().map(Matrix::shape).collect() }
+    }
+}
+
+/// The result of a backward pass: per-node gradients.
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+    shapes: Vec<(usize, usize)>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. node `v` (zeros if the node does not
+    /// influence the loss).
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.grads[v.0] {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.shapes[v.0];
+                Matrix::zeros(r, c)
+            }
+        }
+    }
+
+    /// Borrowing accessor; `None` means the node has no gradient path.
+    pub fn try_grad(&self, v: Var) -> Option<&Matrix> {
+        self.grads[v.0].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_chain_rule() {
+        // f(x) = sum((2x + 1)²) at x = [1, 2]: df/dx = 4(2x+1) = [12, 20].
+        let t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let y = t.add_scalar(t.scale(x, 2.0), 1.0);
+        let loss = t.sum(t.square(y));
+        assert_eq!(t.value(loss)[(0, 0)], 9.0 + 25.0);
+        let g = t.backward(loss);
+        assert_eq!(g.grad(x), Matrix::from_rows(&[&[12.0, 20.0]]));
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let loss = t.sum(t.matmul(a, b));
+        let g = t.backward(loss);
+        assert_eq!(g.grad(a), Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]]));
+        assert_eq!(g.grad(b), Matrix::from_rows(&[&[4.0, 4.0], &[6.0, 6.0]]));
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // loss = sum(x ∘ x + x): dx = 2x + 1.
+        let t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[3.0]]));
+        let loss = t.sum(t.add(t.mul(x, x), x));
+        let g = t.backward(loss);
+        assert_eq!(g.grad(x)[(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn unused_leaf_has_zero_grad() {
+        let t = Tape::new();
+        let x = t.leaf(Matrix::ones(1, 1));
+        let y = t.leaf(Matrix::ones(2, 3));
+        let loss = t.sum(x);
+        let g = t.backward(loss);
+        assert_eq!(g.grad(y), Matrix::zeros(2, 3));
+        assert!(g.try_grad(y).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1×1 scalar")]
+    fn backward_rejects_non_scalar() {
+        let t = Tape::new();
+        let x = t.leaf(Matrix::ones(2, 2));
+        let _ = t.backward(x);
+    }
+
+    #[test]
+    fn div_col_broadcast_normalizes_rows() {
+        let t = Tape::new();
+        let q = t.leaf(Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 2.0]]));
+        let s = t.row_sums(q);
+        let n = t.div_col_broadcast(q, s);
+        let v = t.value(n);
+        assert!((v[(0, 0)] - 0.25).abs() < 1e-12);
+        assert!((v[(0, 1)] - 0.75).abs() < 1e-12);
+        assert!((v.row_sums()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sq_dist_cdist_value_matches_tensor() {
+        let t = Tape::new();
+        let x = t.leaf(Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 2.0]]));
+        let c = t.leaf(Matrix::from_rows(&[&[1.0, 0.0]]));
+        let d = t.sq_dist_cdist(x, c);
+        let v = t.value(d);
+        assert_eq!(v[(0, 0)], 1.0);
+        assert_eq!(v[(1, 0)], 4.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Calibration helper: quick SC-method scores per profile×model, compared
+//! against the paper's reported numbers (run before regenerating tables).
+
+use bench::{Budget, Method};
+use bench::Scores;
+use datagen::{EmbeddingModel, Profile, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed_off: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let cases = [
+        (Profile::WebTables, EmbeddingModel::Sbert, "paper: KM .27/.45 Birch .33/.49 DBSCAN .00/.29 TableDC .62/.65"),
+        (Profile::Tus, EmbeddingModel::Sbert, "paper: KM .73/.79 Birch .22/.40 DBSCAN .17/.47 TableDC .88/.87"),
+        (Profile::MusicBrainz, EmbeddingModel::Sbert, "paper: KM .40/.68 Birch .56/.76 TableDC .80/.88"),
+        (Profile::Camera, EmbeddingModel::Sbert, "paper: KM .74/.70 Birch .76/.70 DBSCAN .73/.69 TableDC .80/.72"),
+    ];
+    for (profile, model, paper) in cases {
+        let d = profile.dataset(model, Scale::Scaled, 42);
+        let budget = Budget::for_task(profile.task()).scaled(1.0);
+        print!("{:<12} {:<7}", profile.name(), model.name());
+        for m in [Method::KMeans, Method::Birch, Method::Dbscan, Method::TableDc] {
+            let mut rng = StdRng::seed_from_u64(7 + seed_off);
+            let (labels, _) = m.run(&d.x, d.k, &budget, &mut rng);
+            let s = Scores::evaluate(&labels, &d.labels);
+            print!("  {} {:.2}/{:.2}", m.name(), s.ari, s.acc);
+        }
+        println!("\n             {paper}");
+    }
+}

@@ -1,0 +1,117 @@
+//! `repro` — regenerates every table and figure of the TableDC paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- <command> [flags]
+//!
+//! Commands:
+//!   table1 | table2 | table3 | table4 | table5
+//!   fig2 | fig3 | fig4 | fig5
+//!   ablate-delta | ablate-gamma | ablate-alpha | ablate-covariance |
+//!   ablate-birch-t
+//!   all          every experiment above, in order
+//!
+//! Flags:
+//!   --full               paper-scale datasets (Table 1 sizes; slow)
+//!   --seed <u64>         base RNG seed                [default: 42]
+//!   --epoch-factor <f>   multiplier on training epochs [default: 1.0]
+//!   --ks <a,b,c>         cluster counts for fig3
+//! ```
+
+use bench::experiments::{ablations, figures, tables, RunOptions};
+use datagen::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage_and_exit();
+    }
+    let command = args[0].clone();
+
+    let mut opts = RunOptions::default();
+    let mut ks: Vec<usize> = vec![50, 100, 200, 400];
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts.scale = Scale::Paper,
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_or_exit(&args, i, "--seed");
+            }
+            "--epoch-factor" => {
+                i += 1;
+                opts.epoch_factor = parse_or_exit(&args, i, "--epoch-factor");
+            }
+            "--ks" => {
+                i += 1;
+                let raw = args.get(i).unwrap_or_else(|| usage_err("--ks needs a value"));
+                ks = raw
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage_err("bad --ks list")))
+                    .collect();
+            }
+            other => usage_err(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if opts.scale == Scale::Paper {
+        // Paper scale sweeps the full Figure 3 range.
+        if ks == vec![50, 100, 200, 400] {
+            ks = vec![100, 400, 800, 1200, 1600, 2000, 2400];
+        }
+    }
+
+    let run = |name: &str, opts: RunOptions, ks: &[usize]| match name {
+        "table1" => print!("{}", tables::table1(opts)),
+        "table2" => print!("{}", tables::table2(opts).render()),
+        "table3" => print!("{}", tables::table3(opts).render()),
+        "table4" => print!("{}", tables::table4(opts).render()),
+        "table5" => print!("{}", tables::table5(opts).render()),
+        "fig2" => print!("{}", figures::fig2(opts).render()),
+        "fig3" => print!("{}", figures::fig3(opts, ks).render()),
+        "fig4" => print!("{}", figures::fig4(opts).render()),
+        "fig5" => print!("{}", figures::fig5(opts).render(10)),
+        "ablate-delta" => print!("{}", ablations::ablate_delta(opts).render()),
+        "ablate-gamma" => print!("{}", ablations::ablate_gamma(opts).render()),
+        "ablate-alpha" => print!("{}", ablations::ablate_alpha(opts).render()),
+        "ablate-covariance" => print!("{}", ablations::ablate_covariance(opts).render()),
+        "ablate-birch-t" => print!("{}", ablations::ablate_birch_threshold(opts).render()),
+        other => usage_err(&format!("unknown command {other}")),
+    };
+
+    eprintln!(
+        "# repro: scale={:?} seed={} epoch_factor={}",
+        opts.scale, opts.seed, opts.epoch_factor
+    );
+    if command == "all" {
+        for name in [
+            "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
+            "ablate-delta", "ablate-gamma", "ablate-alpha", "ablate-covariance",
+            "ablate-birch-t",
+        ] {
+            eprintln!("# running {name} …");
+            run(name, opts, &ks);
+        }
+    } else {
+        run(&command, opts, &ks);
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage_err(&format!("{flag} needs a valid value")))
+}
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    print_usage_and_exit()
+}
+
+fn print_usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|table5|fig2|fig3|fig4|fig5|\
+         ablate-delta|ablate-gamma|ablate-alpha|ablate-covariance|ablate-birch-t|all> \
+         [--full] [--seed N] [--epoch-factor F] [--ks a,b,c]"
+    );
+    std::process::exit(2)
+}

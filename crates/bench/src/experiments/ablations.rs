@@ -1,0 +1,163 @@
+//! Extra ablations beyond the paper's own (DESIGN.md §5): sweeps over
+//! δ (covariance scale), γ (Cauchy width), α (loss weight), the Birch
+//! threshold T, and empirical vs scaled-identity covariance.
+
+use datagen::{EmbeddingModel, Profile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tabledc::{Covariance, Distance, Kernel, TableDc, TableDcConfig};
+
+use crate::report::{render_table, Scores};
+
+use super::RunOptions;
+
+/// A one-dimensional hyper-parameter sweep result.
+pub struct SweepResult {
+    /// Sweep title.
+    pub title: String,
+    /// `(parameter value label, Scores)`.
+    pub rows: Vec<(String, Scores)>,
+}
+
+impl SweepResult {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let headers = vec!["Value".to_string(), "ARI".to_string(), "ACC".to_string()];
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(v, s)| vec![v.clone(), format!("{:.2}", s.ari), format!("{:.2}", s.acc)])
+            .collect();
+        render_table(&self.title, &headers, &cells)
+    }
+
+    /// The best ARI across the sweep.
+    pub fn best_ari(&self) -> f64 {
+        self.rows.iter().map(|(_, s)| s.ari).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+fn sweep(
+    title: &str,
+    opts: RunOptions,
+    values: &[(String, TableDcConfig)],
+    dataset: &datagen::Dataset,
+) -> SweepResult {
+    let rows = values
+        .iter()
+        .map(|(label, config)| {
+            let mut rng = StdRng::seed_from_u64(opts.seed + 21);
+            let (_, fit) = TableDc::fit(config.clone(), &dataset.x, &mut rng);
+            (label.clone(), Scores::evaluate(&fit.labels, &dataset.labels))
+        })
+        .collect();
+    SweepResult { title: title.to_string(), rows }
+}
+
+fn base_config(opts: RunOptions, dataset: &datagen::Dataset) -> TableDcConfig {
+    opts.budget(dataset.profile.task()).tabledc_config(dataset.k)
+}
+
+/// Sweeps the covariance scale δ of Eq. 3 on web tables (SBERT).
+pub fn ablate_delta(opts: RunOptions) -> SweepResult {
+    let dataset = Profile::WebTables.dataset(EmbeddingModel::Sbert, opts.scale, opts.seed);
+    let base = base_config(opts, &dataset);
+    let values: Vec<(String, TableDcConfig)> = [0.001, 0.01, 0.1, 1.0]
+        .iter()
+        .map(|&d| {
+            (
+                format!("delta={d}"),
+                TableDcConfig {
+                    distance: Distance::Mahalanobis(Covariance::ScaledIdentity(d)),
+                    ..base.clone()
+                },
+            )
+        })
+        .collect();
+    sweep("Ablation: covariance scale delta (Eq. 3)", opts, &values, &dataset)
+}
+
+/// Sweeps the Cauchy γ of Eq. 7 on web tables (SBERT).
+pub fn ablate_gamma(opts: RunOptions) -> SweepResult {
+    let dataset = Profile::WebTables.dataset(EmbeddingModel::Sbert, opts.scale, opts.seed);
+    let base = base_config(opts, &dataset);
+    let values: Vec<(String, TableDcConfig)> = [0.25, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&g| {
+            (format!("gamma={g}"), TableDcConfig { kernel: Kernel::Cauchy { gamma: g }, ..base.clone() })
+        })
+        .collect();
+    sweep("Ablation: Cauchy kernel gamma (Eq. 7)", opts, &values, &dataset)
+}
+
+/// Sweeps the loss weight α of Eq. 13 on web tables (SBERT).
+pub fn ablate_alpha(opts: RunOptions) -> SweepResult {
+    let dataset = Profile::WebTables.dataset(EmbeddingModel::Sbert, opts.scale, opts.seed);
+    let base = base_config(opts, &dataset);
+    let values: Vec<(String, TableDcConfig)> = [0.0, 0.3, 0.6, 0.9, 1.0]
+        .iter()
+        .map(|&a| (format!("alpha={a}"), TableDcConfig { alpha: a, ..base.clone() }))
+        .collect();
+    sweep("Ablation: clustering-loss weight alpha (Eq. 13)", opts, &values, &dataset)
+}
+
+/// Compares the scaled-identity covariance against empirical (shrunk)
+/// covariances on web tables (SBERT).
+pub fn ablate_covariance(opts: RunOptions) -> SweepResult {
+    let dataset = Profile::WebTables.dataset(EmbeddingModel::Sbert, opts.scale, opts.seed);
+    let base = base_config(opts, &dataset);
+    let mut values = vec![(
+        "scaled identity (0.01)".to_string(),
+        TableDcConfig { distance: Distance::PAPER, ..base.clone() },
+    )];
+    for shrinkage in [0.3, 0.6, 0.9] {
+        values.push((
+            format!("empirical (shrinkage={shrinkage})"),
+            TableDcConfig {
+                distance: Distance::Mahalanobis(Covariance::Empirical { shrinkage }),
+                ..base.clone()
+            },
+        ));
+    }
+    sweep("Ablation: covariance model (Eq. 3 vs empirical)", opts, &values, &dataset)
+}
+
+/// Sweeps the Birch radius threshold T (Algorithm 2 / §4.3 grid search)
+/// on GeoSet (EmbDi) — entity resolution is where the CF-tree granularity
+/// matters most.
+pub fn ablate_birch_threshold(opts: RunOptions) -> SweepResult {
+    let dataset = Profile::GeoSet.dataset(EmbeddingModel::EmbDi, opts.scale, opts.seed);
+    let budget = opts.budget(datagen::Task::EntityResolution);
+    let rows = [0.125, 0.25, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|&t| {
+            let mut rng = StdRng::seed_from_u64(opts.seed + 31);
+            // Run Birch directly with the fixed threshold (no auto-adjust)
+            // and feed its centers into TableDC via the latent space: the
+            // cleanest isolation of T is Birch's own clustering quality.
+            let birch = clustering::Birch {
+                threshold: t,
+                auto_threshold: false,
+                ..clustering::Birch::new(dataset.k)
+            };
+            let result = birch.fit(&dataset.x, &mut rng);
+            let _ = &budget;
+            (format!("T={t}"), Scores::evaluate(&result.labels, &dataset.labels))
+        })
+        .collect();
+    SweepResult { title: "Ablation: Birch threshold T (Algorithm 2)".to_string(), rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "experiment smoke test; run with --release")]
+    fn birch_threshold_sweep_runs() {
+        let result = ablate_birch_threshold(RunOptions::quick());
+        assert_eq!(result.rows.len(), 5);
+        assert!(result.best_ari() > -1.0);
+        assert!(result.render().contains("T=0.5"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Result containers and fixed-width table rendering for the harness.
+
+use clustering::metrics::{accuracy, adjusted_rand_index};
+use serde::Serialize;
+
+/// ARI + ACC of one labelling against ground truth (§4.2).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Scores {
+    /// Adjusted Rand Index.
+    pub ari: f64,
+    /// Clustering accuracy via Hungarian matching.
+    pub acc: f64,
+}
+
+impl Scores {
+    /// Evaluates predicted labels against ground truth.
+    pub fn evaluate(pred: &[usize], truth: &[usize]) -> Self {
+        Self { ari: adjusted_rand_index(pred, truth), acc: accuracy(pred, truth) }
+    }
+
+    /// Renders as `ARI/ACC` with two decimals, paper-style.
+    pub fn cell(&self) -> String {
+        format!("{:>5.2} {:>5.2}", self.ari, self.acc)
+    }
+}
+
+/// Renders a fixed-width text table.
+pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_perfect_and_mixed() {
+        let s = Scores::evaluate(&[0, 0, 1, 1], &[1, 1, 0, 0]);
+        assert!((s.ari - 1.0).abs() < 1e-12);
+        assert!((s.acc - 1.0).abs() < 1e-12);
+        let m = Scores::evaluate(&[0, 1, 0, 1], &[0, 0, 1, 1]);
+        assert!(m.ari < 0.5);
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            "demo",
+            &["Method".to_string(), "ARI".to_string()],
+            &[
+                vec!["K-means".to_string(), "0.73".to_string()],
+                vec!["TableDC".to_string(), "0.88".to_string()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("K-means"));
+        let lines: Vec<&str> = t.lines().filter(|l| l.contains("0.")).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+}

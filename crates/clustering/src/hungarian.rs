@@ -1,0 +1,185 @@
+//! The Hungarian (Kuhn–Munkres) algorithm for optimal assignment.
+//!
+//! Clustering accuracy (ACC, §4.2 of the paper) requires the *best*
+//! one-to-one mapping between predicted clusters and ground-truth classes;
+//! that is a maximum-weight bipartite matching over the contingency matrix,
+//! solved here in `O(n³)` with the potentials formulation.
+
+/// Solves the minimum-cost assignment problem for an `n×m` cost matrix with
+/// `n ≤ m` (each row assigned to a distinct column).
+///
+/// Returns `assign` with `assign[row] = col`.
+///
+/// # Panics
+/// Panics if `n > m` or the matrix is ragged.
+pub fn hungarian_min(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    assert!(n <= m, "hungarian_min: need rows ({n}) <= cols ({m}); transpose the input");
+    assert!(cost.iter().all(|r| r.len() == m), "hungarian_min: ragged cost matrix");
+
+    const INF: f64 = f64::INFINITY;
+    // 1-indexed potentials formulation (e-maxx). p[j]: column matched to row
+    // way[j]: previous column on the alternating path.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assign = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(assign.iter().all(|&a| a != usize::MAX));
+    assign
+}
+
+/// Maximum-weight assignment: negates the weights and calls
+/// [`hungarian_min`]. Returns `assign[row] = col`.
+pub fn hungarian_max(weight: &[Vec<f64>]) -> Vec<usize> {
+    let neg: Vec<Vec<f64>> = weight.iter().map(|r| r.iter().map(|&w| -w).collect()).collect();
+    hungarian_min(&neg)
+}
+
+/// Total cost of an assignment under a cost matrix.
+pub fn assignment_cost(cost: &[Vec<f64>], assign: &[usize]) -> f64 {
+    assign.iter().enumerate().map(|(i, &j)| cost[i][j]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute force over all permutations (n ≤ 6).
+    fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+        fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if row == cost.len() {
+                *best = best.min(acc);
+                return;
+            }
+            for j in 0..cost[0].len() {
+                if !used[j] {
+                    used[j] = true;
+                    rec(cost, row + 1, used, acc + cost[row][j], best);
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(cost, 0, &mut vec![false; cost[0].len()], 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn simple_diagonal_case() {
+        let cost = vec![vec![1.0, 9.0], vec![9.0, 1.0]];
+        let a = hungarian_min(&cost);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(assignment_cost(&cost, &a), 2.0);
+    }
+
+    #[test]
+    fn forced_off_diagonal() {
+        let cost = vec![vec![9.0, 1.0], vec![1.0, 9.0]];
+        assert_eq!(hungarian_min(&cost), vec![1, 0]);
+    }
+
+    #[test]
+    fn rectangular_more_columns() {
+        let cost = vec![vec![5.0, 1.0, 9.0], vec![9.0, 9.0, 2.0]];
+        let a = hungarian_min(&cost);
+        assert_eq!(a, vec![1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random costs (LCG) to avoid a rand dep here.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        for n in 2..=5 {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let a = hungarian_min(&cost);
+                // Assignment must be a permutation.
+                let mut seen = vec![false; n];
+                for &j in &a {
+                    assert!(!seen[j], "duplicate column in assignment");
+                    seen[j] = true;
+                }
+                let got = assignment_cost(&cost, &a);
+                let want = brute_force_min(&cost);
+                assert!((got - want).abs() < 1e-9, "n={n}: got {got}, brute force {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_max_picks_heaviest_matching() {
+        let w = vec![vec![10.0, 1.0], vec![8.0, 7.0]];
+        // Max: 10 + 7 = 17 (diag), vs 1 + 8 = 9.
+        assert_eq!(hungarian_max(&w), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(hungarian_min(&[]).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! # clustering — classical clustering algorithms and evaluation metrics
+//!
+//! The standard-clustering baselines of the paper (§4.1.2: K-means, DBSCAN,
+//! Birch), the additional initializers of the Figure 4 ablation
+//! (K-means++, random, agglomerative), connected-component clustering for
+//! the bespoke baselines, and the evaluation metrics of §4.2 (ACC via the
+//! Hungarian algorithm, ARI, plus NMI and cluster-shape statistics).
+
+pub mod agglomerative;
+pub mod birch;
+pub mod dbscan;
+pub mod hungarian;
+pub mod internal;
+pub mod kmeans;
+pub mod metrics;
+pub mod union_find;
+
+pub use agglomerative::{Agglomerative, Linkage};
+pub use birch::{Birch, BirchResult, ClusteringFeature};
+pub use dbscan::{Dbscan, DbscanResult};
+pub use kmeans::{KMeans, KMeansInit, KMeansResult};
+pub use internal::{calinski_harabasz_index, davies_bouldin_index, silhouette_score};
+pub use metrics::{accuracy, adjusted_rand_index, normalized_mutual_info, unary_cluster_count};
+pub use union_find::{connected_components, UnionFind};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::metrics::{accuracy, adjusted_rand_index, normalized_mutual_info};
+
+    fn labels_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+        proptest::collection::vec(0..k, n)
+    }
+
+    proptest! {
+        /// ACC and ARI are invariant under relabelling of the prediction.
+        #[test]
+        fn metrics_invariant_under_permutation(
+            truth in labels_strategy(30, 4),
+            pred in labels_strategy(30, 4),
+            offset in 1..4usize,
+        ) {
+            let permuted: Vec<usize> = pred.iter().map(|&l| (l + offset) % 4).collect();
+            prop_assert!((accuracy(&pred, &truth) - accuracy(&permuted, &truth)).abs() < 1e-12);
+            prop_assert!(
+                (adjusted_rand_index(&pred, &truth) - adjusted_rand_index(&permuted, &truth)).abs()
+                    < 1e-12
+            );
+        }
+
+        /// Self-comparison is perfect.
+        #[test]
+        fn self_comparison_is_perfect(labels in labels_strategy(25, 5)) {
+            prop_assert!((accuracy(&labels, &labels) - 1.0).abs() < 1e-12);
+            prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+            prop_assert!((normalized_mutual_info(&labels, &labels) - 1.0).abs() < 1e-12);
+        }
+
+        /// ACC is bounded in [0, 1] and ARI in [-1, 1].
+        #[test]
+        fn metric_ranges(truth in labels_strategy(20, 3), pred in labels_strategy(20, 6)) {
+            let acc = accuracy(&pred, &truth);
+            prop_assert!((0.0..=1.0).contains(&acc));
+            let ari = adjusted_rand_index(&pred, &truth);
+            prop_assert!((-1.0..=1.0 + 1e-12).contains(&ari));
+            let nmi = normalized_mutual_info(&pred, &truth);
+            prop_assert!((0.0..=1.0).contains(&nmi));
+        }
+
+        /// ACC is at least the frequency of the most common true class
+        /// (a trivial single-cluster prediction achieves exactly that).
+        #[test]
+        fn acc_beats_majority_floor(truth in labels_strategy(20, 3)) {
+            let single = vec![0usize; truth.len()];
+            let mut counts = [0usize; 3];
+            for &t in &truth { counts[t] += 1; }
+            let majority = *counts.iter().max().expect("non-empty") as f64 / truth.len() as f64;
+            prop_assert!((accuracy(&single, &truth) - majority).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! External clustering-quality metrics: ACC, ARI, NMI, and cluster-shape
+//! statistics (paper §4.2 and §4.5 observation iv).
+
+use std::collections::HashMap;
+
+use crate::hungarian::hungarian_max;
+
+/// Remaps arbitrary label values to dense `0..k` ids, returning the dense
+/// labels and `k`.
+pub fn densify_labels(labels: &[usize]) -> (Vec<usize>, usize) {
+    let mut map = HashMap::new();
+    let mut dense = Vec::with_capacity(labels.len());
+    for &l in labels {
+        let next = map.len();
+        let id = *map.entry(l).or_insert(next);
+        dense.push(id);
+    }
+    (dense, map.len())
+}
+
+/// Contingency matrix `C[i][j]` = number of points with predicted cluster
+/// `i` and true class `j`.
+///
+/// # Panics
+/// Panics if the label slices differ in length.
+pub fn contingency(pred: &[usize], truth: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len(), "contingency: length mismatch");
+    let (p, kp) = densify_labels(pred);
+    let (t, kt) = densify_labels(truth);
+    let mut c = vec![vec![0usize; kt]; kp];
+    for (&pi, &ti) in p.iter().zip(&t) {
+        c[pi][ti] += 1;
+    }
+    c
+}
+
+/// Clustering accuracy (ACC): the fraction of points correctly labelled
+/// under the *best* one-to-one matching between predicted clusters and true
+/// classes, found with the Hungarian algorithm. Ranges in [0, 1].
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let c = contingency(pred, truth);
+    let (kp, kt) = (c.len(), c[0].len());
+    // Hungarian needs rows ≤ cols; orient accordingly.
+    let weights: Vec<Vec<f64>> = if kp <= kt {
+        c.iter().map(|r| r.iter().map(|&x| x as f64).collect()).collect()
+    } else {
+        (0..kt).map(|j| (0..kp).map(|i| c[i][j] as f64).collect()).collect()
+    };
+    let assign = hungarian_max(&weights);
+    let matched: f64 = assign
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| if kp <= kt { c[i][j] as f64 } else { c[j][i] as f64 })
+        .sum();
+    matched / pred.len() as f64
+}
+
+fn comb2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index (ARI): chance-corrected pair-counting agreement.
+/// 1 = identical partitions, ~0 = random, negative = worse than random.
+pub fn adjusted_rand_index(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "ARI: length mismatch");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let c = contingency(pred, truth);
+    let sum_ij: f64 = c.iter().flatten().map(|&x| comb2(x)).sum();
+    let a: Vec<usize> = c.iter().map(|r| r.iter().sum()).collect();
+    let b: Vec<usize> = (0..c[0].len()).map(|j| c.iter().map(|r| r[j]).sum()).collect();
+    let sum_a: f64 = a.iter().map(|&x| comb2(x)).sum();
+    let sum_b: f64 = b.iter().map(|&x| comb2(x)).sum();
+    let total = comb2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Degenerate: both partitions are single-cluster or all-singletons.
+        return if (sum_ij - expected).abs() < f64::EPSILON { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Normalized Mutual Information with arithmetic-mean normalization.
+/// Ranges in [0, 1].
+pub fn normalized_mutual_info(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "NMI: length mismatch");
+    let n = pred.len() as f64;
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let c = contingency(pred, truth);
+    let a: Vec<f64> = c.iter().map(|r| r.iter().sum::<usize>() as f64).collect();
+    let b: Vec<f64> = (0..c[0].len()).map(|j| c.iter().map(|r| r[j]).sum::<usize>() as f64).collect();
+    let mut mi = 0.0;
+    for (i, row) in c.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij > 0 {
+                let nij = nij as f64;
+                mi += (nij / n) * ((n * nij) / (a[i] * b[j])).ln();
+            }
+        }
+    }
+    let h = |v: &[f64]| -> f64 {
+        v.iter().filter(|&&x| x > 0.0).map(|&x| -(x / n) * (x / n).ln()).sum()
+    };
+    let (ha, hb) = (h(&a), h(&b));
+    if ha == 0.0 && hb == 0.0 {
+        1.0
+    } else if ha == 0.0 || hb == 0.0 {
+        0.0
+    } else {
+        (mi / (0.5 * (ha + hb))).clamp(0.0, 1.0)
+    }
+}
+
+/// Number of singleton ("unary") clusters in a labelling — the paper uses
+/// this to argue TableDC avoids fragmenting entity-resolution clusters
+/// (§4.5, observation iv).
+pub fn unary_cluster_count(labels: &[usize]) -> usize {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts.values().filter(|&&c| c == 1).count()
+}
+
+/// Number of distinct clusters in a labelling.
+pub fn num_clusters(labels: &[usize]) -> usize {
+    densify_labels(labels).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_perfect_up_to_permutation() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![2, 2, 0, 0, 1, 1]; // same partition, renamed
+        assert!((accuracy(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_info(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_half_right() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 0, 1];
+        assert!((accuracy(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_more_predicted_clusters_than_truth() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 2, 2, 2];
+        // Best map: pred 0→truth 0 (2 right), pred 2→truth 1 (3 right);
+        // pred 1 unmatched → 5/6.
+        assert!((accuracy(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_more_truth_classes_than_predicted() {
+        let truth = vec![0, 1, 2, 3];
+        let pred = vec![0, 0, 1, 1];
+        // Each predicted cluster can match one class → 2/4.
+        assert!((accuracy(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_known_sklearn_value() {
+        // sklearn doc example: ARI([0,0,1,1],[0,0,1,2]) = 0.5714285714...
+        let ari = adjusted_rand_index(&[0, 0, 1, 2], &[0, 0, 1, 1]);
+        assert!((ari - 0.5714285714285714).abs() < 1e-12, "ari = {ari}");
+    }
+
+    #[test]
+    fn ari_random_labels_near_zero() {
+        // Independent alternating vs block labels on 40 points.
+        let truth: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let pred: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari.abs() < 0.15, "ari = {ari}");
+    }
+
+    #[test]
+    fn ari_single_cluster_against_itself_is_one() {
+        let l = vec![0usize; 10];
+        assert_eq!(adjusted_rand_index(&l, &l), 1.0);
+    }
+
+    #[test]
+    fn ari_symmetry() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let b = vec![0, 1, 1, 1, 2, 0, 0, 2];
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn nmi_independent_labels_low() {
+        let truth: Vec<usize> = (0..100).map(|i| i / 50).collect();
+        let pred: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        assert!(normalized_mutual_info(&pred, &truth) < 0.05);
+    }
+
+    #[test]
+    fn unary_clusters_counted() {
+        assert_eq!(unary_cluster_count(&[0, 0, 1, 2, 2, 3]), 2); // {1}, {3}
+        assert_eq!(num_clusters(&[5, 5, 9, 100]), 3);
+    }
+
+    #[test]
+    fn contingency_shape() {
+        let c = contingency(&[0, 0, 1], &[1, 1, 0]);
+        assert_eq!(c, vec![vec![2, 0], vec![0, 1]]);
+    }
+}

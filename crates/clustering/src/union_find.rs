@@ -1,0 +1,125 @@
+//! Disjoint-set union and connected-component clustering.
+//!
+//! The bespoke baselines cluster by thresholding a similarity graph and
+//! taking connected components: Starmie's table grouping (§4.7.1) and
+//! JedAI's entity clusters (§4.7.2) both use this primitive.
+
+/// Disjoint-set forest with path compression and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of the set containing `x`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns true if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Dense component labels in `0..component_count()`.
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut map = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let root = self.find(i);
+            let next = map.len();
+            labels.push(*map.entry(root).or_insert(next));
+        }
+        labels
+    }
+}
+
+/// Clusters `n` items by connecting every pair listed in `edges` and
+/// returning dense component labels.
+pub fn connected_components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for (a, b) in edges {
+        uf.union(a, b);
+    }
+    uf.labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already connected
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let labels = connected_components(6, [(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[5], labels[0]);
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn no_edges_gives_identity() {
+        let labels = connected_components(4, []);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_collapses_to_one() {
+        let labels = connected_components(100, (0..99).map(|i| (i, i + 1)));
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

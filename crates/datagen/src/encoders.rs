@@ -1,0 +1,381 @@
+//! Embedding-model simulators.
+//!
+//! The paper feeds TableDC embeddings from six pretrained models (SBERT,
+//! FastText, USE, T5, TabTransformer, EmbDi — §4.1.3). Those models are not
+//! available here, so each is simulated as a combination of:
+//!
+//! 1. a **lexical** component — a real hash-n-gram (FastText-style subword)
+//!    encoding of the item's actual text, capturing syntactic similarity;
+//! 2. a **semantic** component — a latent direction per ground-truth
+//!    concept plus per-item noise, standing in for what a pretrained
+//!    language model recovers about *meaning*; its weight calibrates each
+//!    simulated model's semantic quality to the ordering the paper observes
+//!    (SBERT ≳ T5 > USE ≳ FastText ≫ TabTransformer, with EmbDi
+//!    structural/lexical-heavy);
+//! 3. a feature-mixing matrix that correlates output dimensions — the
+//!    "dense, correlated embedding" property (§1 property i) that motivates
+//!    the Mahalanobis distance.
+//!
+//! TableDC and the baselines only ever see the resulting `n × d` matrix, so
+//! this substitution exercises the identical code path as real embeddings
+//! (see DESIGN.md §1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::random::{randn, rng};
+use tensor::Matrix;
+
+use crate::corpus::Corpus;
+use crate::text::{char_ngrams, fnv1a};
+
+/// The embedding models of §4.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmbeddingModel {
+    /// Sentence-BERT on schema-level text.
+    Sbert,
+    /// Sentence-BERT on instance-level text (rows serialized with [SEP]),
+    /// marked `SBERT*` in Tables 2 and 4.
+    SbertInstance,
+    /// FastText (subword n-grams).
+    FastText,
+    /// Universal Sentence Encoder.
+    Use,
+    /// T5 encoder embeddings (`T5*` in Table 4).
+    T5,
+    /// TabTransformer fine-tuned on instances (`TT*` in Table 2).
+    TabTransformer,
+    /// EmbDi graph-based row embeddings.
+    EmbDi,
+}
+
+impl EmbeddingModel {
+    /// Simulation profile for this model family.
+    pub fn profile(self) -> EncoderProfile {
+        match self {
+            EmbeddingModel::Sbert => {
+                EncoderProfile { dim: 160, semantic: 1.0, lexical: 0.35, noise: 1.7, ambiguity: 0.30, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.7 }
+            }
+            EmbeddingModel::SbertInstance => {
+                EncoderProfile { dim: 160, semantic: 0.85, lexical: 0.45, noise: 1.9, ambiguity: 0.35, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.7 }
+            }
+            EmbeddingModel::FastText => {
+                EncoderProfile { dim: 160, semantic: 0.60, lexical: 0.70, noise: 1.9, ambiguity: 0.40, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.65 }
+            }
+            EmbeddingModel::Use => {
+                EncoderProfile { dim: 160, semantic: 0.75, lexical: 0.40, noise: 2.0, ambiguity: 0.40, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.7 }
+            }
+            EmbeddingModel::T5 => {
+                EncoderProfile { dim: 160, semantic: 0.90, lexical: 0.40, noise: 1.8, ambiguity: 0.32, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.7 }
+            }
+            EmbeddingModel::TabTransformer => {
+                EncoderProfile { dim: 160, semantic: 0.15, lexical: 0.35, noise: 3.0, ambiguity: 0.60, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.7 }
+            }
+            EmbeddingModel::EmbDi => {
+                EncoderProfile { dim: 160, semantic: 0.50, lexical: 0.80, noise: 1.7, ambiguity: 0.35, semantic_rank: 0, outliers: 0.12, bridge: 0.06, density_spread: 2.5, entangle: 0.65 }
+            }
+        }
+    }
+
+    /// Short display name matching the paper's table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmbeddingModel::Sbert => "SBERT",
+            EmbeddingModel::SbertInstance => "SBERT*",
+            EmbeddingModel::FastText => "FastText",
+            EmbeddingModel::Use => "USE",
+            EmbeddingModel::T5 => "T5*",
+            EmbeddingModel::TabTransformer => "TT*",
+            EmbeddingModel::EmbDi => "EmbDi",
+        }
+    }
+}
+
+/// Geometry knobs of a simulated embedding model.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderProfile {
+    /// Output dimension.
+    pub dim: usize,
+    /// Weight of the latent semantic component.
+    pub semantic: f64,
+    /// Weight of the lexical (hash-n-gram) component.
+    pub lexical: f64,
+    /// Weight of i.i.d. per-item noise (the noise component has unit norm
+    /// before weighting, so `noise` is directly comparable to `semantic`).
+    pub noise: f64,
+    /// Fraction of items whose semantic reading blends a *second* concept
+    /// (55/45) — the genuinely ambiguous, cluster-overlapping objects of
+    /// §1 property ii (e.g. a table equally about `RadioStation` and
+    /// `Country`).
+    pub ambiguity: f64,
+    /// Rank of the subspace the concept directions span; `0` selects the
+    /// automatic rank `clamp(k, 16, dim/4)`. Real semantic spaces are
+    /// low-rank relative to the embedding dimension, which is exactly why
+    /// bottleneck autoencoders can separate semantics from isotropic
+    /// noise.
+    pub semantic_rank: usize,
+    /// Fraction of items that are *outliers*: their noise is drawn at 3.5×
+    /// scale, giving the corpus the heavy-tailed error distribution of real
+    /// scraped data (missing instances, unit mismatches, duplicates — §3).
+    /// Outliers are what separates the Cauchy kernel from thin-tailed ones.
+    pub outliers: f64,
+    /// Fraction of items that *bridge* concepts: an even three-concept
+    /// semantic blend. Bridges chain clusters together for density-based
+    /// methods while remaining assignable for centroid methods.
+    pub bridge: f64,
+    /// Ratio between the largest and smallest per-concept noise scale
+    /// (1.0 = uniform density). Real corpora mix dense, homogeneous
+    /// concepts with sparse heterogeneous ones — the variable-density
+    /// regime in which single-radius methods (DBSCAN) fail.
+    pub density_spread: f64,
+    /// Strength of the fixed random nonlinear mixing applied to the final
+    /// embedding (0 = purely linear composition, 1 = fully entangled):
+    /// pretrained encoders entangle semantic factors nonlinearly across
+    /// dimensions, which is precisely what gives representation-learning
+    /// methods room to beat raw-space clustering.
+    pub entangle: f64,
+}
+
+/// Pure lexical encoder: character-trigram counts hashed into `dim`
+/// buckets with signed hashing, then L2-normalized. This is a *real*
+/// text encoder (no ground-truth input) — it is also used directly by the
+/// bespoke syntactic baselines (D3L, Starmie's base encoder, JedAI
+/// token similarities).
+pub fn hash_ngram_embed(texts: &[&str], dim: usize, n: usize) -> Matrix {
+    assert!(dim > 0 && n > 0, "hash_ngram_embed: dim and n must be positive");
+    let mut out = Matrix::zeros(texts.len(), dim);
+    for (i, text) in texts.iter().enumerate() {
+        let row = out.row_mut(i);
+        for token in text.split_whitespace() {
+            for gram in char_ngrams(token, n) {
+                let h = fnv1a(&gram);
+                let bucket = (h % dim as u64) as usize;
+                let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+                row[bucket] += sign;
+            }
+        }
+    }
+    out.normalize_rows()
+}
+
+/// Embeds a corpus with a simulated model. Deterministic for a given
+/// `(corpus, model, seed)`.
+pub fn embed_corpus(corpus: &Corpus, model: EmbeddingModel, seed: u64) -> Matrix {
+    let profile = model.profile();
+    embed_corpus_with(corpus, profile, model as u64 ^ seed)
+}
+
+/// Embeds a corpus with an explicit profile (for geometry sweeps).
+pub fn embed_corpus_with(corpus: &Corpus, profile: EncoderProfile, seed: u64) -> Matrix {
+    let dim = profile.dim;
+    let texts = corpus.texts();
+    let lexical = hash_ngram_embed(&texts, dim, 3);
+
+    let mut r = rng(seed);
+    // Latent semantic direction per ground-truth concept, drawn from a
+    // low-rank subspace (semantic_rank base factors mixed into dim), unit
+    // norm per concept.
+    let concept_dirs = {
+        let auto = corpus.k.clamp(16, (dim / 4).max(1));
+        let rank = if profile.semantic_rank == 0 { auto } else { profile.semantic_rank }.clamp(1, dim);
+        let factors = randn(corpus.k, rank, &mut r);
+        let basis = randn(rank, dim, &mut r);
+        factors.matmul(&basis).normalize_rows()
+    };
+    // Feature-mixing matrix: correlates output dimensions (density).
+    let mixing = {
+        let m = randn(dim, dim, &mut r);
+        // Blend with identity so the mixing is mild but real.
+        let mut blended = Matrix::identity(dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                blended[(i, j)] += 0.25 * m[(i, j)] / (dim as f64).sqrt();
+            }
+        }
+        blended
+    };
+
+    // Per-concept density multipliers: log-uniform in
+    // [1/sqrt(spread), sqrt(spread)].
+    let density: Vec<f64> = {
+        use rand::Rng;
+        let spread = profile.density_spread.max(1.0);
+        let half = spread.sqrt().ln();
+        (0..corpus.k).map(|_| (r.gen_range(-half..=half.max(1e-9))).exp()).collect()
+    };
+    let inv_sqrt_dim = 1.0 / (dim as f64).sqrt();
+
+    // Fixed random nonlinear mixing (tanh two-layer map): real pretrained
+    // encoders entangle latent semantics across output dimensions, so the
+    // cluster structure is not axis-aligned or linearly separable in the
+    // raw space. The *clean* part of each embedding (semantics + lexical
+    // evidence) is warped through it; per-item noise is added afterwards in
+    // the output space, which matches how encoder idiosyncrasies behave and
+    // leaves a low-dimensional clean manifold for representation learners
+    // to recover.
+    let w1 = {
+        let mut w = randn(dim, dim, &mut r);
+        w.map_inplace(|v| v * (2.0 / dim as f64).sqrt());
+        w
+    };
+    let w2 = {
+        let mut w = randn(dim, dim, &mut r);
+        w.map_inplace(|v| v * (2.0 / dim as f64).sqrt());
+        w
+    };
+
+    let mut clean = Matrix::zeros(corpus.items.len(), dim);
+    let mut noise_rows = Matrix::zeros(corpus.items.len(), dim);
+    for (i, item) in corpus.items.iter().enumerate() {
+        // Per-item RNG keyed by the item text so re-encoding the same text
+        // yields the same "semantic reading" of it.
+        let mut ir = StdRng::seed_from_u64(seed ^ fnv1a(&item.text));
+        let item_noise = randn(1, dim, &mut ir);
+        // Semantic mixture: plain item (own concept), ambiguous item
+        // (55/45 blend of two), or bridge item (even blend of three).
+        let roll: f64 = ir.gen();
+        let mut blend: Vec<(usize, f64)> = vec![(item.label, 1.0)];
+        if corpus.k > 1 && roll < profile.bridge {
+            let o1 = (item.label + 1 + ir.gen_range(0..corpus.k - 1)) % corpus.k;
+            let o2 = (item.label + 1 + ir.gen_range(0..corpus.k - 1)) % corpus.k;
+            blend = vec![(item.label, 0.34), (o1, 0.33), (o2, 0.33)];
+        } else if corpus.k > 1 && roll < profile.bridge + profile.ambiguity {
+            let o = (item.label + 1 + ir.gen_range(0..corpus.k - 1)) % corpus.k;
+            blend = vec![(item.label, 0.55), (o, 0.45)];
+        }
+        // Heavy tail: a fraction of items carries 3.5x noise.
+        let outlier_scale = if ir.gen::<f64>() < profile.outliers { 3.5 } else { 1.0 };
+        let crow = clean.row_mut(i);
+        for j in 0..dim {
+            let sem: f64 = blend.iter().map(|&(c, w)| w * concept_dirs[(c, j)]).sum();
+            crow[j] = profile.semantic * sem + profile.lexical * lexical[(i, j)];
+        }
+        let nrow = noise_rows.row_mut(i);
+        for j in 0..dim {
+            // Noise norm is ~1 before the profile weight, making `noise`
+            // comparable to `semantic`.
+            nrow[j] = profile.noise
+                * density[item.label]
+                * outlier_scale
+                * item_noise[(0, j)]
+                * inv_sqrt_dim;
+        }
+    }
+
+    // Correlate the clean part linearly, blend in the nonlinear warp, then
+    // add output-space noise and normalize onto the sphere (sentence
+    // encoders produce unit-norm-ish dense vectors).
+    let linear = clean.matmul(&mixing);
+    let e = profile.entangle;
+    let warped_clean = if e > 0.0 {
+        let hidden = (&linear * 2.0).matmul(&w1).map(f64::tanh);
+        let warped = hidden.matmul(&w2);
+        &(&linear * (1.0 - e)) + &(&warped * e)
+    } else {
+        linear
+    };
+    (&warped_clean + &noise_rows).normalize_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{domain_corpus, DomainCorpusConfig};
+    use tensor::distance::cosine_similarity;
+
+    #[test]
+    fn hash_embed_is_deterministic_and_unit_norm() {
+        let texts = vec!["hello world", "hello word", "completely different text"];
+        let a = hash_ngram_embed(&texts, 32, 3);
+        let b = hash_ngram_embed(&texts, 32, 3);
+        assert_eq!(a, b);
+        for row in a.row_iter() {
+            let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hash_embed_reflects_lexical_similarity() {
+        let texts = vec!["manchester united kingdom", "manchester england", "kamera zoom lens"];
+        let e = hash_ngram_embed(&texts, 64, 3);
+        let sim_close = cosine_similarity(e.row(0), e.row(1));
+        let sim_far = cosine_similarity(e.row(0), e.row(2));
+        assert!(sim_close > sim_far, "{sim_close} vs {sim_far}");
+    }
+
+    #[test]
+    fn corpus_embeddings_cluster_by_label() {
+        let corpus = domain_corpus(
+            &DomainCorpusConfig { n_columns: 60, n_domains: 6, ..Default::default() },
+            &mut tensor::random::rng(1),
+        );
+        let x = embed_corpus(&corpus, EmbeddingModel::Sbert, 7);
+        assert_eq!(x.shape(), (60, 160));
+        // Mean within-label cosine similarity should exceed across-label.
+        let labels = corpus.labels();
+        let mut within = (0.0, 0usize);
+        let mut across = (0.0, 0usize);
+        for i in 0..60 {
+            for j in (i + 1)..60 {
+                let s = cosine_similarity(x.row(i), x.row(j));
+                if labels[i] == labels[j] {
+                    within.0 += s;
+                    within.1 += 1;
+                } else {
+                    across.0 += s;
+                    across.1 += 1;
+                }
+            }
+        }
+        let w = within.0 / within.1 as f64;
+        let a = across.0 / across.1 as f64;
+        // The calibrated geometry is deliberately hard (noise ≈ 1.7× the
+        // semantic norm, nonlinear entanglement), so the mean cosine gap is
+        // small — it just has to be clearly positive.
+        assert!(w > a + 0.02, "within {w} vs across {a}");
+    }
+
+    #[test]
+    fn model_quality_ordering_sbert_above_tabtransformer() {
+        // The separation of the SBERT simulation must exceed
+        // TabTransformer's — the geometry behind Table 2's ordering.
+        let corpus = domain_corpus(
+            &DomainCorpusConfig { n_columns: 80, n_domains: 8, ..Default::default() },
+            &mut tensor::random::rng(2),
+        );
+        let gap = |model: EmbeddingModel| {
+            let x = embed_corpus(&corpus, model, 3);
+            let labels = corpus.labels();
+            let mut within = (0.0, 0usize);
+            let mut across = (0.0, 0usize);
+            for i in 0..x.rows() {
+                for j in (i + 1)..x.rows() {
+                    let s = cosine_similarity(x.row(i), x.row(j));
+                    if labels[i] == labels[j] {
+                        within.0 += s;
+                        within.1 += 1;
+                    } else {
+                        across.0 += s;
+                        across.1 += 1;
+                    }
+                }
+            }
+            within.0 / within.1 as f64 - across.0 / across.1 as f64
+        };
+        assert!(gap(EmbeddingModel::Sbert) > gap(EmbeddingModel::TabTransformer) + 0.05);
+    }
+
+    #[test]
+    fn same_text_same_embedding() {
+        // Two items with identical text and label embed identically.
+        let corpus = Corpus {
+            items: vec![
+                crate::corpus::TextItem { text: "alpha beta".into(), label: 0 },
+                crate::corpus::TextItem { text: "alpha beta".into(), label: 0 },
+            ],
+            k: 1,
+        };
+        let x = embed_corpus(&corpus, EmbeddingModel::Sbert, 11);
+        assert!(x.row(0).iter().zip(x.row(1)).all(|(a, b)| (a - b).abs() < 1e-12));
+    }
+}

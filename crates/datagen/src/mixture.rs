@@ -1,0 +1,307 @@
+//! Gaussian-mixture latent generators with controlled geometry.
+//!
+//! The paper's central claim is that data-management embeddings are
+//! *dense*, *feature-correlated*, and *cluster-overlapping* (§1, properties
+//! i–iii). This module generates embedding matrices with those three knobs
+//! exposed explicitly, so experiments can sweep them and the six dataset
+//! profiles can dial in geometry matching each benchmark's behaviour.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tensor::random::{randn, randn_scalar};
+use tensor::Matrix;
+
+/// How cluster sizes are distributed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDistribution {
+    /// All clusters the same size (±1).
+    Balanced,
+    /// Zipf-like decay with the given exponent — schema-inference corpora
+    /// have a few huge types and a long tail.
+    Zipf(f64),
+    /// Uniformly random sizes between the two bounds (inclusive) — the
+    /// duplicate-group shape of entity resolution (2–5 records per entity
+    /// in MusicBrainz, §4.1.1).
+    UniformRange(usize, usize),
+}
+
+/// Configuration for a synthetic embedding mixture.
+#[derive(Debug, Clone)]
+pub struct MixtureConfig {
+    /// Number of points (ignored when `sizes` is `UniformRange`; then the
+    /// count follows from `clusters × range`).
+    pub n: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Distance between cluster centers relative to within-cluster spread:
+    /// `separation < ~2` produces heavy overlap, `> 4` clean separation.
+    pub separation: f64,
+    /// Fraction of the variance that is shared across *correlated* feature
+    /// groups (0 = isotropic features, →1 = strongly correlated features).
+    pub correlation: f64,
+    /// Cluster-size distribution.
+    pub sizes: SizeDistribution,
+    /// Fraction of points replaced by uniform outliers (noise tolerance
+    /// experiments).
+    pub outlier_fraction: f64,
+    /// If true, rows are L2-normalized onto the unit sphere afterwards —
+    /// the geometry of sentence-encoder embeddings, which *increases*
+    /// density.
+    pub normalize: bool,
+}
+
+impl Default for MixtureConfig {
+    fn default() -> Self {
+        Self {
+            n: 500,
+            k: 10,
+            dim: 32,
+            separation: 3.0,
+            correlation: 0.3,
+            sizes: SizeDistribution::Balanced,
+            outlier_fraction: 0.0,
+            normalize: false,
+        }
+    }
+}
+
+/// A generated dataset: embeddings plus ground-truth cluster labels.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// `n × dim` embedding matrix.
+    pub x: Matrix,
+    /// Ground-truth cluster per row.
+    pub labels: Vec<usize>,
+}
+
+impl Generated {
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of distinct labels.
+    pub fn k(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Draws cluster sizes according to the distribution, totalling close to
+/// `n` (exact for `Balanced`/`Zipf`).
+pub fn draw_sizes(cfg: &MixtureConfig, rng: &mut StdRng) -> Vec<usize> {
+    match cfg.sizes {
+        SizeDistribution::Balanced => {
+            let base = cfg.n / cfg.k;
+            let extra = cfg.n % cfg.k;
+            (0..cfg.k).map(|i| base + usize::from(i < extra)).collect()
+        }
+        SizeDistribution::Zipf(s) => {
+            let weights: Vec<f64> = (1..=cfg.k).map(|r| 1.0 / (r as f64).powf(s)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut sizes: Vec<usize> =
+                weights.iter().map(|w| ((w / total) * cfg.n as f64).round().max(1.0) as usize).collect();
+            // Adjust the largest cluster so the total is exactly n.
+            let sum: usize = sizes.iter().sum();
+            if sum < cfg.n {
+                sizes[0] += cfg.n - sum;
+            } else {
+                let mut over = sum - cfg.n;
+                for s in sizes.iter_mut() {
+                    let take = over.min(s.saturating_sub(1));
+                    *s -= take;
+                    over -= take;
+                    if over == 0 {
+                        break;
+                    }
+                }
+            }
+            sizes
+        }
+        SizeDistribution::UniformRange(lo, hi) => {
+            assert!(lo >= 1 && hi >= lo, "UniformRange: bad bounds [{lo}, {hi}]");
+            (0..cfg.k).map(|_| rng.gen_range(lo..=hi)).collect()
+        }
+    }
+}
+
+/// Generates a mixture according to `cfg`.
+pub fn generate_mixture(cfg: &MixtureConfig, rng: &mut StdRng) -> Generated {
+    assert!(cfg.k >= 1, "mixture: k must be >= 1");
+    assert!(cfg.dim >= 1, "mixture: dim must be >= 1");
+    assert!((0.0..=1.0).contains(&cfg.correlation), "correlation must be in [0,1]");
+    assert!((0.0..1.0).contains(&cfg.outlier_fraction), "outlier_fraction must be in [0,1)");
+
+    let sizes = draw_sizes(cfg, rng);
+    let n: usize = sizes.iter().sum();
+
+    // Cluster centers: coordinates ~ N(0, separation²). Within-cluster
+    // noise below has per-coordinate std ≈ 1, so the expected
+    // between-center distance is `separation × √(2·dim)` against a
+    // within-cluster pair distance of `√(2·dim)` — `separation` is a
+    // dimension-independent signal-to-noise ratio (≈1 → heavy overlap,
+    // ≥4 → clean separation).
+    let centers = {
+        let mut c = randn(cfg.k, cfg.dim, rng);
+        let scale = cfg.separation;
+        c.map_inplace(|v| v * scale);
+        c
+    };
+
+    // Correlated within-cluster noise: z = (1−ρ)·e + ρ·(shared per-group
+    // factor), implemented with a handful of latent factors mixed into all
+    // dimensions.
+    let n_factors = (cfg.dim / 4).max(1);
+    let mixing = randn(n_factors, cfg.dim, rng);
+
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for (ci, &size) in sizes.iter().enumerate() {
+        for _ in 0..size {
+            let iso = randn(1, cfg.dim, rng);
+            let factors = randn(1, n_factors, rng);
+            let shared = factors.matmul(&mixing);
+            let mut row = Vec::with_capacity(cfg.dim);
+            for j in 0..cfg.dim {
+                let noise = (1.0 - cfg.correlation) * iso[(0, j)]
+                    + cfg.correlation * shared[(0, j)] / (n_factors as f64).sqrt();
+                row.push(centers[(ci, j)] + noise);
+            }
+            rows.push(row);
+            labels.push(ci);
+        }
+    }
+
+    // Outliers: overwrite a random subset with wide uniform noise.
+    let n_out = ((n as f64) * cfg.outlier_fraction) as usize;
+    for _ in 0..n_out {
+        let i = rng.gen_range(0..n);
+        for v in rows[i].iter_mut() {
+            *v = randn_scalar(rng) * cfg.separation * 3.0;
+        }
+    }
+
+    let mut x = Matrix::from_row_vecs(&rows);
+    if cfg.normalize {
+        x = x.normalize_rows();
+    }
+    Generated { x, labels }
+}
+
+/// The MusicBrainz-style scalability workload of Figure 3: `k` clusters of
+/// 2–5 near-duplicate rows each, moderately overlapping, `dim`-dimensional.
+pub fn scalability_workload(k: usize, dim: usize, rng: &mut StdRng) -> Generated {
+    let cfg = MixtureConfig {
+        n: 0, // determined by the range
+        k,
+        dim,
+        separation: 3.0,
+        correlation: 0.4,
+        sizes: SizeDistribution::UniformRange(2, 5),
+        outlier_fraction: 0.0,
+        normalize: true,
+    };
+    generate_mixture(&cfg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng;
+
+    #[test]
+    fn balanced_sizes_sum_to_n() {
+        let cfg = MixtureConfig { n: 103, k: 10, ..Default::default() };
+        let sizes = draw_sizes(&cfg, &mut rng(1));
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+    }
+
+    #[test]
+    fn zipf_sizes_are_skewed_and_sum_to_n() {
+        let cfg = MixtureConfig { n: 429, k: 26, sizes: SizeDistribution::Zipf(1.2), ..Default::default() };
+        let sizes = draw_sizes(&cfg, &mut rng(2));
+        assert_eq!(sizes.iter().sum::<usize>(), 429);
+        assert!(sizes[0] > sizes[25] * 3, "head {} vs tail {}", sizes[0], sizes[25]);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let cfg = MixtureConfig {
+            k: 100,
+            sizes: SizeDistribution::UniformRange(2, 5),
+            ..Default::default()
+        };
+        let sizes = draw_sizes(&cfg, &mut rng(3));
+        assert!(sizes.iter().all(|&s| (2..=5).contains(&s)));
+    }
+
+    #[test]
+    fn generated_shapes_and_labels() {
+        let cfg = MixtureConfig { n: 60, k: 4, dim: 8, ..Default::default() };
+        let g = generate_mixture(&cfg, &mut rng(4));
+        assert_eq!(g.x.shape(), (60, 8));
+        assert_eq!(g.labels.len(), 60);
+        assert_eq!(g.k(), 4);
+        assert!(g.x.all_finite());
+    }
+
+    #[test]
+    fn separation_controls_cluster_distinctness() {
+        // Well-separated data should have much higher between/within ratio
+        // than overlapping data.
+        let ratio = |sep: f64| {
+            let cfg = MixtureConfig { n: 200, k: 4, dim: 8, separation: sep, ..Default::default() };
+            let g = generate_mixture(&cfg, &mut rng(5));
+            // Mean within-cluster pairwise dist vs global pairwise dist.
+            let mut within = (0.0, 0usize);
+            let mut between = (0.0, 0usize);
+            for i in 0..g.n() {
+                for j in (i + 1)..g.n() {
+                    let d = tensor::distance::sq_euclidean(g.x.row(i), g.x.row(j));
+                    if g.labels[i] == g.labels[j] {
+                        within.0 += d;
+                        within.1 += 1;
+                    } else {
+                        between.0 += d;
+                        between.1 += 1;
+                    }
+                }
+            }
+            (between.0 / between.1 as f64) / (within.0 / within.1 as f64)
+        };
+        assert!(ratio(6.0) > ratio(0.5) * 1.5);
+    }
+
+    #[test]
+    fn normalization_puts_rows_on_sphere() {
+        let cfg = MixtureConfig { n: 30, k: 3, dim: 6, normalize: true, ..Default::default() };
+        let g = generate_mixture(&cfg, &mut rng(6));
+        for row in g.x.row_iter() {
+            let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scalability_workload_has_small_clusters() {
+        let g = scalability_workload(50, 16, &mut rng(7));
+        assert_eq!(g.k(), 50);
+        let mut counts = vec![0usize; 50];
+        for &l in &g.labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| (2..=5).contains(&c)));
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let cfg = MixtureConfig::default();
+        let a = generate_mixture(&cfg, &mut rng(42));
+        let b = generate_mixture(&cfg, &mut rng(42));
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.labels, b.labels);
+    }
+}

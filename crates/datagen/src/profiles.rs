@@ -1,0 +1,296 @@
+//! The six benchmark dataset profiles of Table 1, as synthetic workloads.
+//!
+//! | Group   | Dataset      | Instances | Clusters |
+//! |---------|--------------|-----------|----------|
+//! | Tables  | web tables   | 429       | 26       |
+//! | Tables  | TUS          | 4248      | 37       |
+//! | Rows    | MusicBrainz  | 2002      | 684      |
+//! | Rows    | GeoSet       | 3021      | 786      |
+//! | Columns | Camera       | 19036     | 56       |
+//! | Columns | Monitor      | 34481     | 81       |
+//!
+//! Each profile generates a synthetic corpus with the same instance/cluster
+//! statistics and task-appropriate structure, then embeds it with a
+//! simulated embedding model. `Scale::Scaled` shrinks the workload for
+//! CPU-friendly experiment runs while preserving the shape (cluster-count
+//! ratios, duplicate-group sizes); `Scale::Paper` reproduces Table 1
+//! exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Matrix;
+
+use crate::corpus::{
+    domain_corpus, entity_corpus, schema_corpus, Corpus, DomainCorpusConfig, EntityCorpusConfig,
+    SchemaCorpusConfig,
+};
+use crate::encoders::{embed_corpus, EmbeddingModel};
+use crate::mixture::SizeDistribution;
+use crate::text::fnv1a;
+
+/// The three data-integration tasks (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Cluster tables sharing a schema.
+    SchemaInference,
+    /// Cluster records of the same real-world entity.
+    EntityResolution,
+    /// Cluster columns drawing from the same domain.
+    DomainDiscovery,
+}
+
+/// The six benchmark datasets (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// T2D web tables (schema inference).
+    WebTables,
+    /// Table Union Search benchmark (schema inference).
+    Tus,
+    /// MusicBrainz songs (entity resolution).
+    MusicBrainz,
+    /// Geographic settlements (entity resolution).
+    GeoSet,
+    /// Di2KG Camera (domain discovery).
+    Camera,
+    /// Di2KG Monitor (domain discovery).
+    Monitor,
+}
+
+/// Workload size selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Table 1 sizes.
+    Paper,
+    /// CPU-friendly scaled-down sizes (default for the harness).
+    Scaled,
+}
+
+impl Profile {
+    /// All six profiles.
+    pub const ALL: [Profile; 6] = [
+        Profile::WebTables,
+        Profile::Tus,
+        Profile::MusicBrainz,
+        Profile::GeoSet,
+        Profile::Camera,
+        Profile::Monitor,
+    ];
+
+    /// Dataset display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::WebTables => "web tables",
+            Profile::Tus => "TUS",
+            Profile::MusicBrainz => "Music Brainz",
+            Profile::GeoSet => "GeoSet",
+            Profile::Camera => "Camera",
+            Profile::Monitor => "Monitor",
+        }
+    }
+
+    /// The task the paper evaluates this dataset on.
+    pub fn task(self) -> Task {
+        match self {
+            Profile::WebTables | Profile::Tus => Task::SchemaInference,
+            Profile::MusicBrainz | Profile::GeoSet => Task::EntityResolution,
+            Profile::Camera | Profile::Monitor => Task::DomainDiscovery,
+        }
+    }
+
+    /// `(instances, clusters)` at the given scale. Paper values are
+    /// Table 1; scaled values preserve cluster structure at lower n. For
+    /// entity resolution, instance counts are approximate (duplicate group
+    /// sizes are random) — they land within a few percent of the target.
+    pub fn stats(self, scale: Scale) -> (usize, usize) {
+        match (self, scale) {
+            (Profile::WebTables, Scale::Paper) => (429, 26),
+            (Profile::Tus, Scale::Paper) => (4248, 37),
+            (Profile::MusicBrainz, Scale::Paper) => (2002, 684),
+            (Profile::GeoSet, Scale::Paper) => (3021, 786),
+            (Profile::Camera, Scale::Paper) => (19036, 56),
+            (Profile::Monitor, Scale::Paper) => (34481, 81),
+            (Profile::WebTables, Scale::Scaled) => (429, 26), // already small
+            (Profile::Tus, Scale::Scaled) => (900, 37),
+            (Profile::MusicBrainz, Scale::Scaled) => (440, 150),
+            (Profile::GeoSet, Scale::Scaled) => (640, 165),
+            (Profile::Camera, Scale::Scaled) => (1000, 56),
+            (Profile::Monitor, Scale::Scaled) => (1000, 81),
+        }
+    }
+
+    /// The embedding models the paper evaluates on this dataset
+    /// (Tables 2–4 column groups).
+    pub fn representations(self) -> &'static [EmbeddingModel] {
+        match self.task() {
+            Task::SchemaInference => {
+                if matches!(self, Profile::Tus) {
+                    &[
+                        EmbeddingModel::Sbert,
+                        EmbeddingModel::FastText,
+                        EmbeddingModel::TabTransformer,
+                        EmbeddingModel::SbertInstance,
+                    ]
+                } else {
+                    &[
+                        EmbeddingModel::Sbert,
+                        EmbeddingModel::Use,
+                        EmbeddingModel::TabTransformer,
+                        EmbeddingModel::SbertInstance,
+                    ]
+                }
+            }
+            Task::EntityResolution => &[EmbeddingModel::Sbert, EmbeddingModel::EmbDi],
+            Task::DomainDiscovery => {
+                &[EmbeddingModel::Sbert, EmbeddingModel::SbertInstance, EmbeddingModel::T5]
+            }
+        }
+    }
+
+    /// Generates the raw textual corpus for this profile.
+    pub fn corpus(self, scale: Scale, model: EmbeddingModel, seed: u64) -> Corpus {
+        let (n, k) = self.stats(scale);
+        let mut rng = StdRng::seed_from_u64(seed ^ fnv1a(self.name()));
+        let instance_level =
+            matches!(model, EmbeddingModel::SbertInstance | EmbeddingModel::TabTransformer | EmbeddingModel::T5);
+        match self.task() {
+            Task::SchemaInference => schema_corpus(
+                &SchemaCorpusConfig {
+                    n_tables: n,
+                    n_types: k,
+                    attrs_per_type: 6,
+                    attr_coverage: 0.8,
+                    shared_attr_fraction: 0.35,
+                    include_instances: instance_level,
+                    sizes: SizeDistribution::Zipf(1.1),
+                },
+                &mut rng,
+            ),
+            Task::EntityResolution => {
+                // Duplicate ranges chosen so k groups total ≈ n records
+                // (MusicBrainz ≈ 2.9 records/entity, GeoSet ≈ 3.8).
+                let dups = if matches!(self, Profile::MusicBrainz) { (2, 4) } else { (2, 6) };
+                entity_corpus(
+                    &EntityCorpusConfig { n_entities: k, dups, noise: 0.5, n_attrs: 4 },
+                    &mut rng,
+                )
+            }
+            Task::DomainDiscovery => domain_corpus(
+                &DomainCorpusConfig {
+                    n_columns: n,
+                    n_domains: k,
+                    vocab_size: 30,
+                    values_per_column: (3, 12),
+                    include_headers: !instance_level,
+                    vocab_overlap: 0.25,
+                },
+                &mut rng,
+            ),
+        }
+    }
+
+    /// Generates embeddings + ground truth for this profile under a model.
+    pub fn dataset(self, model: EmbeddingModel, scale: Scale, seed: u64) -> Dataset {
+        let corpus = self.corpus(scale, model, seed);
+        let x = embed_corpus(&corpus, model, seed.wrapping_mul(0x9e3779b9).wrapping_add(1));
+        Dataset {
+            profile: self,
+            model,
+            labels: corpus.labels(),
+            k: corpus.k,
+            x,
+        }
+    }
+}
+
+/// A ready-to-cluster workload: embeddings, ground truth, provenance.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The benchmark profile this simulates.
+    pub profile: Profile,
+    /// The simulated embedding model.
+    pub model: EmbeddingModel,
+    /// `n × d` embedding matrix.
+    pub x: Matrix,
+    /// Ground-truth cluster labels.
+    pub labels: Vec<usize>,
+    /// Number of ground-truth clusters.
+    pub k: usize,
+}
+
+impl Dataset {
+    /// Number of instances.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stats_match_table1() {
+        assert_eq!(Profile::WebTables.stats(Scale::Paper), (429, 26));
+        assert_eq!(Profile::Tus.stats(Scale::Paper), (4248, 37));
+        assert_eq!(Profile::MusicBrainz.stats(Scale::Paper), (2002, 684));
+        assert_eq!(Profile::GeoSet.stats(Scale::Paper), (3021, 786));
+        assert_eq!(Profile::Camera.stats(Scale::Paper), (19036, 56));
+        assert_eq!(Profile::Monitor.stats(Scale::Paper), (34481, 81));
+    }
+
+    #[test]
+    fn tasks_match_paper_assignment() {
+        assert_eq!(Profile::WebTables.task(), Task::SchemaInference);
+        assert_eq!(Profile::MusicBrainz.task(), Task::EntityResolution);
+        assert_eq!(Profile::Monitor.task(), Task::DomainDiscovery);
+    }
+
+    #[test]
+    fn scaled_webtables_dataset_has_table1_shape() {
+        let d = Profile::WebTables.dataset(EmbeddingModel::Sbert, Scale::Scaled, 1);
+        assert_eq!(d.n(), 429);
+        assert_eq!(d.k, 26);
+        assert_eq!(d.labels.len(), 429);
+        assert!(d.x.all_finite());
+    }
+
+    #[test]
+    fn er_profile_instance_count_near_target() {
+        let d = Profile::MusicBrainz.dataset(EmbeddingModel::Sbert, Scale::Scaled, 2);
+        let (target_n, k) = Profile::MusicBrainz.stats(Scale::Scaled);
+        assert_eq!(d.k, k);
+        // Random duplicate counts: within 20% of the target.
+        let n = d.n() as f64;
+        assert!(
+            (n - target_n as f64).abs() / target_n as f64 <= 0.2,
+            "n = {n} vs target {target_n}"
+        );
+    }
+
+    #[test]
+    fn representations_match_paper_tables() {
+        assert_eq!(Profile::Tus.representations().len(), 4);
+        assert_eq!(Profile::GeoSet.representations(), &[EmbeddingModel::Sbert, EmbeddingModel::EmbDi]);
+        assert_eq!(Profile::Camera.representations().len(), 3);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = Profile::Camera.dataset(EmbeddingModel::T5, Scale::Scaled, 9);
+        let b = Profile::Camera.dataset(EmbeddingModel::T5, Scale::Scaled, 9);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Profile::WebTables.dataset(EmbeddingModel::Sbert, Scale::Scaled, 1);
+        let b = Profile::WebTables.dataset(EmbeddingModel::Sbert, Scale::Scaled, 2);
+        assert_ne!(a.x, b.x);
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic synthetic text primitives: word generation and the
+//! perturbations (typos, abbreviations, case/unit changes) that make
+//! entity-resolution and domain-discovery corpora heterogeneous.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+const VOWELS: &[u8] = b"aeiou";
+
+/// Generates a pronounceable pseudo-word of `syllables` syllables.
+pub fn pseudo_word(syllables: usize, rng: &mut StdRng) -> String {
+    let mut s = String::with_capacity(syllables * 2);
+    for _ in 0..syllables.max(1) {
+        s.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        s.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+    }
+    s
+}
+
+/// Generates a multi-token phrase (e.g. an attribute name or entity name).
+pub fn pseudo_phrase(words: usize, rng: &mut StdRng) -> String {
+    (0..words.max(1))
+        .map(|_| pseudo_word(rng.gen_range(1..=3), rng))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Applies a random typo: swap, drop, duplicate, or replace one character.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            out.remove(i);
+        }
+        2 => out.insert(i, chars[i]),
+        _ => out[i] = CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char,
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviates a phrase: keeps the first `keep` characters of each token.
+pub fn abbreviate(s: &str, keep: usize) -> String {
+    s.split_whitespace()
+        .map(|tok| tok.chars().take(keep.max(1)).collect::<String>())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Randomly perturbs a value string the way heterogeneous sources do:
+/// identity, typo, abbreviation, case change, or token reorder
+/// (the "similar tables with different unit measurements" noise of §3).
+pub fn perturb_value(s: &str, strength: f64, rng: &mut StdRng) -> String {
+    if rng.gen::<f64>() >= strength {
+        return s.to_string();
+    }
+    match rng.gen_range(0..4u8) {
+        0 => typo(s, rng),
+        1 => abbreviate(s, 4),
+        2 => s.to_uppercase(),
+        _ => {
+            let mut toks: Vec<&str> = s.split_whitespace().collect();
+            if toks.len() > 1 {
+                toks.reverse();
+            }
+            toks.join(" ")
+        }
+    }
+}
+
+/// Character n-grams of a string (with boundary padding), the FastText-style
+/// subword units consumed by the hash encoders.
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('<')
+        .chain(s.chars().flat_map(|c| c.to_lowercase()))
+        .chain(std::iter::once('>'))
+        .collect();
+    if padded.len() < n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// FNV-1a hash of a string — the stable bucket hash for the encoders.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::rng;
+
+    #[test]
+    fn pseudo_words_are_plausible() {
+        let mut r = rng(1);
+        let w = pseudo_word(3, &mut r);
+        assert_eq!(w.len(), 6);
+        assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn typo_changes_string_slightly() {
+        let mut r = rng(2);
+        let original = "manchester";
+        let mutated = typo(original, &mut r);
+        assert_ne!(mutated, "");
+        let len_diff = (mutated.len() as i64 - original.len() as i64).abs();
+        assert!(len_diff <= 1);
+    }
+
+    #[test]
+    fn abbreviate_keeps_prefixes() {
+        assert_eq!(abbreviate("united kingdom", 4), "unit king");
+        assert_eq!(abbreviate("uk", 4), "uk");
+    }
+
+    #[test]
+    fn perturb_with_zero_strength_is_identity() {
+        let mut r = rng(3);
+        assert_eq!(perturb_value("hello world", 0.0, &mut r), "hello world");
+    }
+
+    #[test]
+    fn ngrams_cover_string() {
+        let grams = char_ngrams("ab", 3);
+        assert_eq!(grams, vec!["<ab", "ab>"]);
+        let short = char_ngrams("a", 5);
+        assert_eq!(short, vec!["<a>"]);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
+        assert_ne!(fnv1a("abc"), fnv1a("abd"));
+    }
+}

@@ -1,0 +1,18 @@
+//! # graph — sparse matrices, KNN graphs, and GCN layers
+//!
+//! Substrate for the GCN-based deep-clustering baselines (SDCN, DFCN,
+//! DCRN) and the SHGP label-propagation baseline: a CSR sparse matrix
+//! ([`csr`]), KNN-graph construction with Kipf–Welling normalization
+//! ([`knn`]), and tape-differentiable graph convolutions ([`gcn`]).
+//!
+//! TableDC itself deliberately *avoids* graph construction (paper §4.8) —
+//! this crate exists to reproduce the baselines it is compared against and
+//! the scalability gap of Figure 3.
+
+pub mod csr;
+pub mod gcn;
+pub mod knn;
+
+pub use csr::Csr;
+pub use gcn::{label_propagation, Gcn, GcnLayer};
+pub use knn::{gcn_adjacency, knn_adjacency, normalize_adjacency};

@@ -1,0 +1,215 @@
+//! The autoencoder used for representation learning (paper Eq. 1–2) and its
+//! reconstruction pretraining (Algorithm 1, line 1).
+
+use autograd::{Tape, Var};
+use rand::rngs::StdRng;
+use tensor::Matrix;
+
+use crate::layers::{Activation, Mlp};
+use crate::loss::mse;
+use crate::optim::{Adam, Optimizer};
+use crate::params::{BoundParams, Params};
+
+/// Encoder/decoder pair with a symmetric layer layout.
+///
+/// TableDC uses four AE layers (§4.3) with a latent size of 100; the default
+/// constructor [`Autoencoder::tabledc_default`] mirrors the widely used
+/// DEC/SDCN layout `d → 500 → 500 → 2000 → latent` and its mirror image.
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    encoder: Mlp,
+    decoder: Mlp,
+}
+
+impl Autoencoder {
+    /// Builds an AE with encoder dims `dims` (input first, latent last) and
+    /// a mirrored decoder. Hidden layers are ReLU; the latent and the final
+    /// reconstruction are linear, which suits standardized real-valued
+    /// embeddings.
+    pub fn new(params: &mut Params, dims: &[usize], rng: &mut StdRng) -> Self {
+        assert!(dims.len() >= 2, "Autoencoder::new: need at least [input, latent]");
+        let mut rev: Vec<usize> = dims.to_vec();
+        rev.reverse();
+        let encoder = Mlp::new(params, dims, Activation::Relu, Activation::Linear, rng);
+        let decoder = Mlp::new(params, &rev, Activation::Relu, Activation::Linear, rng);
+        Self { encoder, decoder }
+    }
+
+    /// The DEC/SDCN-style layout used by TableDC (§4.3):
+    /// `input → 500 → 500 → 2000 → latent`.
+    pub fn tabledc_default(params: &mut Params, input_dim: usize, latent_dim: usize, rng: &mut StdRng) -> Self {
+        Self::new(params, &[input_dim, 500, 500, 2000, latent_dim], rng)
+    }
+
+    /// A mid-sized layout for scaled-down experiments:
+    /// `input → 256 → 128 → latent`.
+    pub fn compact(params: &mut Params, input_dim: usize, latent_dim: usize, rng: &mut StdRng) -> Self {
+        Self::new(params, &[input_dim, 256, 128, latent_dim], rng)
+    }
+
+    /// Encoder forward pass on a tape.
+    pub fn encode(&self, bound: &BoundParams<'_>, x: Var) -> Var {
+        self.encoder.forward(bound, x)
+    }
+
+    /// Decoder forward pass on a tape.
+    pub fn decode(&self, bound: &BoundParams<'_>, z: Var) -> Var {
+        self.decoder.forward(bound, z)
+    }
+
+    /// The encoder's layers, in order — exposed so graph-fusion baselines
+    /// (SDCN) can inject per-layer activations into their GCN.
+    pub fn encoder_layers(&self) -> &[crate::layers::Linear] {
+        self.encoder.layers()
+    }
+
+    /// The decoder's layers, in order.
+    pub fn decoder_layers(&self) -> &[crate::layers::Linear] {
+        self.decoder.layers()
+    }
+
+    /// Latent dimension.
+    pub fn latent_dim(&self) -> usize {
+        self.encoder.out_dim()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.encoder.in_dim()
+    }
+
+    /// Gradient-free encoding of a data matrix.
+    pub fn embed(&self, params: &Params, x: &Matrix) -> Matrix {
+        self.encoder.infer(params, x)
+    }
+
+    /// Gradient-free round trip (encode then decode).
+    pub fn reconstruct(&self, params: &Params, x: &Matrix) -> Matrix {
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let xv = tape.constant(x.clone());
+        let out = self.decode(&bound, self.encode(&bound, xv));
+        tape.value(out)
+    }
+
+    /// Reconstruction pretraining (Algorithm 1 line 1): denoising
+    /// minibatch Adam on `MSE(x, decode(encode(x̃)))` for `epochs` epochs
+    /// with batch size 64 (each epoch makes `⌈n/64⌉` updates, so epochs
+    /// behave like the paper's PyTorch epochs on modest n). Returns the
+    /// per-epoch loss trace (mean batch loss).
+    pub fn pretrain(&self, params: &mut Params, x: &Matrix, epochs: usize, lr: f64) -> Vec<f64> {
+        self.pretrain_with_batch(params, x, epochs, lr, 64, &mut tensor::random::rng(0))
+    }
+
+    /// [`Autoencoder::pretrain`] with an explicit batch size and RNG for
+    /// the shuffling. `batch_size >= n` degenerates to full-batch training.
+    pub fn pretrain_with_batch(
+        &self,
+        params: &mut Params,
+        x: &Matrix,
+        epochs: usize,
+        lr: f64,
+        batch_size: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<f64> {
+        self.pretrain_denoising(params, x, epochs, lr, batch_size, 0.2, rng)
+    }
+
+    /// Denoising pretraining: each batch's *input* is corrupted by zeroing
+    /// a `corruption` fraction of entries while the reconstruction target
+    /// stays clean — the stacked-denoising-autoencoder recipe DEC and SDCN
+    /// pretrain with, which stops the encoder from memorizing per-sample
+    /// noise (essential at small n). `corruption = 0` recovers a plain AE.
+    pub fn pretrain_denoising(
+        &self,
+        params: &mut Params,
+        x: &Matrix,
+        epochs: usize,
+        lr: f64,
+        batch_size: usize,
+        corruption: f64,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<f64> {
+        use rand::Rng;
+        assert!((0.0..1.0).contains(&corruption), "corruption must be in [0,1)");
+        let n = x.rows();
+        let batch_size = batch_size.clamp(1, n.max(1));
+        let mut adam = Adam::new(lr);
+        let mut trace = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let order = tensor::random::permutation(n, rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let clean = x.select_rows(chunk);
+                let mut corrupted = clean.clone();
+                if corruption > 0.0 {
+                    for v in corrupted.as_mut_slice() {
+                        if rng.gen::<f64>() < corruption {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                let tape = Tape::new();
+                let bound = params.bind(&tape);
+                let target = tape.constant(clean);
+                let input = tape.constant(corrupted);
+                let recon = self.decode(&bound, self.encode(&bound, input));
+                let loss = mse(&tape, target, recon);
+                epoch_loss += tape.value(loss)[(0, 0)];
+                batches += 1;
+                let grads = tape.backward(loss);
+                adam.step_from_tape(params, &bound, &grads);
+            }
+            trace.push(epoch_loss / batches.max(1) as f64);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::{randn, rng};
+
+    #[test]
+    fn shapes_are_mirrored() {
+        let mut params = Params::new();
+        let mut r = rng(1);
+        let ae = Autoencoder::new(&mut params, &[10, 8, 3], &mut r);
+        assert_eq!(ae.input_dim(), 10);
+        assert_eq!(ae.latent_dim(), 3);
+        let x = randn(5, 10, &mut r);
+        assert_eq!(ae.embed(&params, &x).shape(), (5, 3));
+        assert_eq!(ae.reconstruct(&params, &x).shape(), (5, 10));
+    }
+
+    #[test]
+    fn pretraining_reduces_reconstruction_loss() {
+        let mut params = Params::new();
+        let mut r = rng(2);
+        let ae = Autoencoder::new(&mut params, &[6, 16, 2], &mut r);
+        // Low-rank data: 2 latent dims suffice, so the AE can compress well.
+        let basis = randn(2, 6, &mut r);
+        let codes = randn(40, 2, &mut r);
+        let x = codes.matmul(&basis);
+        let trace = ae.pretrain(&mut params, &x, 60, 0.01);
+        assert!(trace.len() == 60);
+        let first = trace[0];
+        let last = *trace.last().expect("non-empty");
+        assert!(
+            last < first * 0.5,
+            "pretraining did not reduce loss enough: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn default_layout_matches_paper() {
+        let mut params = Params::new();
+        let mut r = rng(3);
+        let ae = Autoencoder::tabledc_default(&mut params, 300, 100, &mut r);
+        // 4 encoder + 4 decoder layers (paper §4.3: "four AE layers").
+        assert_eq!(ae.latent_dim(), 100);
+        assert_eq!(ae.input_dim(), 300);
+    }
+}

@@ -1,0 +1,162 @@
+//! Loss functions used across TableDC and the deep baselines.
+
+use autograd::{Tape, Var};
+use tensor::Matrix;
+
+/// Numerical floor inside logarithms.
+pub const LOG_EPS: f64 = 1e-12;
+
+/// Mean-squared-error reconstruction loss (paper Eq. 12):
+/// `1/n · Σ (x − x̂)²` where the mean is over *all* elements.
+pub fn mse(t: &Tape, target: Var, pred: Var) -> Var {
+    t.mean(t.square(t.sub(target, pred)))
+}
+
+/// KL divergence `KL(p ‖ m) = 1/n · Σ p·log(p/m)` with a constant target
+/// `p` (paper Eq. 10), normalized per row ("batchmean", the convention of
+/// the reference DEC/SDCN implementations — an unnormalized sum would make
+/// the clustering gradient grow with n·k and swamp the mean-reduced
+/// reconstruction loss in Eq. 13). `p` does not require gradients, so it
+/// enters the tape as a constant; the `p·log p` term is still included so
+/// the node's *value* is a true mean KL divergence (useful for the
+/// Figure 5 loss curves), while the gradient only flows through
+/// `−Σ p·log m`.
+pub fn kl_div(t: &Tape, p: &Matrix, m: Var) -> Var {
+    let n = p.rows().max(1) as f64;
+    let pv = t.constant(p.clone());
+    let log_m = t.ln(t.add_scalar(m, LOG_EPS));
+    let cross = t.scale(t.neg(t.sum(t.mul(pv, log_m))), 1.0 / n);
+    // Constant entropy term 1/n · Σ p·log p, added as a constant node.
+    let ent: f64 =
+        p.as_slice().iter().map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 }).sum::<f64>() / n;
+    t.add_scalar(cross, ent)
+}
+
+/// Plain (non-tape) mean-per-row KL divergence between two row-stochastic
+/// matrices, `1/n · Σ_ij p·log(p/q)` — used for reporting (Figure 5)
+/// without autograd.
+pub fn kl_div_value(p: &Matrix, q: &Matrix) -> f64 {
+    assert_eq!(p.shape(), q.shape(), "kl_div_value: shape mismatch");
+    let n = p.rows().max(1) as f64;
+    p.as_slice()
+        .iter()
+        .zip(q.as_slice())
+        .map(|(&pi, &qi)| if pi > 0.0 { pi * (pi / qi.max(LOG_EPS)).ln() } else { 0.0 })
+        .sum::<f64>()
+        / n
+}
+
+/// Cross-entropy of row-stochastic predictions `m` against constant hard or
+/// soft targets `p`: `−1/n Σ p·log m`. Used by SHGP's pseudo-label loss.
+pub fn cross_entropy(t: &Tape, p: &Matrix, m: Var) -> Var {
+    let n = p.rows().max(1) as f64;
+    let pv = t.constant(p.clone());
+    let log_m = t.ln(t.add_scalar(m, LOG_EPS));
+    t.scale(t.neg(t.sum(t.mul(pv, log_m))), 1.0 / n)
+}
+
+/// NT-Xent-style contrastive loss on two aligned views (rows of `za`, `zb`
+/// are positives; all other cross pairs are negatives), with temperature
+/// `tau`. Used by the Starmie-style contrastive column encoder.
+///
+/// Implemented over tape variables so the encoder can be trained end to
+/// end.
+pub fn nt_xent(t: &Tape, za: Var, zb: Var, tau: f64) -> Var {
+    // Cosine similarities via normalized dot products; we approximate with
+    // dot products of L2-normalized inputs, which callers should provide,
+    // or raw dot products otherwise (still a valid contrastive objective).
+    let logits = t.scale(t.matmul(za, t.transpose(zb)), 1.0 / tau);
+    let probs = t.softmax_rows(logits);
+    // Positives are the diagonal; maximize their log-probability.
+    let n = t.shape(za).0;
+    let eye = Matrix::identity(n);
+    let eye_v = t.constant(eye);
+    let log_p = t.ln(t.add_scalar(probs, LOG_EPS));
+    t.scale(t.neg(t.sum(t.mul(eye_v, log_p))), 1.0 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let t = Tape::new();
+        let a = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let l = mse(&t, a, a);
+        assert_eq!(t.value(l)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_value() {
+        let t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = t.constant(Matrix::from_rows(&[&[3.0, 2.0]]));
+        let l = mse(&t, a, b);
+        assert_eq!(t.value(l)[(0, 0)], 2.0); // ((1-3)² + 0)/2
+    }
+
+    #[test]
+    fn kl_zero_when_distributions_match() {
+        let p = Matrix::from_rows(&[&[0.25, 0.75], &[0.5, 0.5]]);
+        let t = Tape::new();
+        let m = t.constant(p.clone());
+        let l = kl_div(&t, &p, m);
+        assert!(t.value(l)[(0, 0)].abs() < 1e-9);
+        assert!(kl_div_value(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_when_distributions_differ() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1]]);
+        let q = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let v = kl_div_value(&p, &q);
+        assert!(v > 0.0);
+        // Hand value: 0.9·ln(1.8) + 0.1·ln(0.2)
+        let expect = 0.9 * (1.8f64).ln() + 0.1 * (0.2f64).ln();
+        assert!((v - expect).abs() < 1e-12);
+        // Tape version agrees.
+        let t = Tape::new();
+        let m = t.constant(q);
+        assert!((t.value(kl_div(&t, &p, m))[(0, 0)] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_gradient_pushes_m_towards_p() {
+        // d/dm KL(p‖m) should be negative where p > m (increase m there).
+        let p = Matrix::from_rows(&[&[0.9, 0.1]]);
+        let t = Tape::new();
+        let m = t.leaf(Matrix::from_rows(&[&[0.5, 0.5]]));
+        let l = kl_div(&t, &p, m);
+        let g = t.backward(l).grad(m);
+        assert!(g[(0, 0)] < 0.0, "gradient should increase m where p is larger");
+        assert!(g[(0, 1)] > g[(0, 0)]);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_labels() {
+        let p = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let good = Matrix::from_rows(&[&[0.9, 0.1]]);
+        let bad = Matrix::from_rows(&[&[0.1, 0.9]]);
+        let t = Tape::new();
+        let lg = t.value(cross_entropy(&t, &p, t.constant(good)))[(0, 0)];
+        let lb = t.value(cross_entropy(&t, &p, t.constant(bad)))[(0, 0)];
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn nt_xent_lower_for_aligned_views() {
+        let t = Tape::new();
+        let base = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).normalize_rows();
+        let aligned = t.constant(base.clone());
+        let view = t.constant(base.clone());
+        let l_aligned = t.value(nt_xent(&t, aligned, view, 0.5))[(0, 0)];
+        // Misaligned: swap rows of the second view.
+        let swapped = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let t2 = Tape::new();
+        let a2 = t2.constant(base);
+        let b2 = t2.constant(swapped);
+        let l_mis = t2.value(nt_xent(&t2, a2, b2, 0.5))[(0, 0)];
+        assert!(l_aligned < l_mis);
+    }
+}

@@ -1,0 +1,176 @@
+//! First-order optimizers: SGD and Adam.
+//!
+//! The paper trains TableDC and every deep baseline with Adam (§4.3); SGD
+//! is kept for tests and ablations.
+
+use autograd::Gradients;
+use tensor::Matrix;
+
+use crate::params::{BoundParams, ParamId, Params};
+
+/// A first-order optimizer over a [`Params`] store.
+pub trait Optimizer {
+    /// Applies one update step given `(id, gradient)` pairs.
+    fn step(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]);
+
+    /// Convenience: pulls each bound parameter's gradient out of a backward
+    /// pass and applies the step.
+    fn step_from_tape(
+        &mut self,
+        params: &mut Params,
+        bound: &BoundParams<'_>,
+        grads: &Gradients,
+    ) where
+        Self: Sized,
+    {
+        let pairs: Vec<(ParamId, Matrix)> = bound
+            .iter()
+            .filter_map(|(id, var)| grads.try_grad(var).map(|g| (id, g.clone())))
+            .collect();
+        self.step(params, &pairs);
+    }
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        for (id, g) in grads {
+            let p = params.get_mut(*id);
+            debug_assert_eq!(p.shape(), g.shape());
+            for (w, gi) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *w -= self.lr * gi;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer of §4.3.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper uses 1e-3-scale rates typical for Adam).
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    fn ensure_state(&mut self, id: ParamId, shape: (usize, usize)) {
+        if self.m.len() <= id.0 {
+            self.m.resize_with(id.0 + 1, || None);
+            self.v.resize_with(id.0 + 1, || None);
+        }
+        if self.m[id.0].is_none() {
+            self.m[id.0] = Some(Matrix::zeros(shape.0, shape.1));
+            self.v[id.0] = Some(Matrix::zeros(shape.0, shape.1));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, g) in grads {
+            self.ensure_state(*id, g.shape());
+            let m = self.m[id.0].as_mut().expect("state ensured");
+            let v = self.v[id.0].as_mut().expect("state ensured");
+            let p = params.get_mut(*id);
+            debug_assert_eq!(p.shape(), g.shape());
+            for (((w, gi), mi), vi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Tape;
+
+    /// Minimizes f(w) = (w − 3)² from w = 0 with the given optimizer and
+    /// returns the final value of w.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut params = Params::new();
+        let w = params.register(Matrix::zeros(1, 1));
+        for _ in 0..steps {
+            let tape = Tape::new();
+            let bound = params.bind(&tape);
+            let diff = tape.add_scalar(bound.var(w), -3.0);
+            let loss = tape.sum(tape.square(diff));
+            let grads = tape.backward(loss);
+            let pairs: Vec<(ParamId, Matrix)> =
+                bound.iter().map(|(id, v)| (id, grads.grad(v))).collect();
+            opt.step(&mut params, &pairs);
+        }
+        params.get(w)[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = minimize(&mut Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = minimize(&mut Adam::new(0.1), 500);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_has_unit_scale() {
+        // With bias correction, the first Adam step is ≈ lr regardless of
+        // gradient magnitude.
+        let mut params = Params::new();
+        let w = params.register(Matrix::zeros(1, 1));
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut params, &[(w, Matrix::full(1, 1, 1000.0))]);
+        assert!((params.get(w)[(0, 0)] + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_step_is_linear_in_gradient() {
+        let mut params = Params::new();
+        let w = params.register(Matrix::full(1, 2, 1.0));
+        let mut sgd = Sgd::new(0.5);
+        sgd.step(&mut params, &[(w, Matrix::from_rows(&[&[2.0, -4.0]]))]);
+        assert_eq!(params.get(w).as_slice(), &[0.0, 3.0]);
+    }
+}

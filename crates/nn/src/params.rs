@@ -1,0 +1,116 @@
+//! Parameter storage and per-tape binding.
+//!
+//! Models in this workspace keep their weights in a flat [`Params`] store
+//! and refer to them by [`ParamId`]. Each training step binds the store to
+//! a fresh autograd tape ([`Params::bind`]), producing a [`BoundParams`]
+//! that maps ids to tape [`Var`]s; after `backward`, the optimizer reads
+//! each parameter's gradient through the same mapping. This mirrors the
+//! PyTorch parameter/optimizer split while staying explicit about tape
+//! lifetimes.
+
+use autograd::{Tape, Var};
+use tensor::Matrix;
+
+/// Identifier of a parameter inside a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Flat storage for model parameters.
+#[derive(Default, Clone)]
+pub struct Params {
+    mats: Vec<Matrix>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn register(&mut self, value: Matrix) -> ParamId {
+        self.mats.push(value);
+        ParamId(self.mats.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Read access to a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    /// Write access to a parameter value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.mats.iter().map(Matrix::len).sum()
+    }
+
+    /// Creates tape leaves for every parameter, returning the binding used
+    /// by both the forward pass and the optimizer step.
+    pub fn bind<'t>(&self, tape: &'t Tape) -> BoundParams<'t> {
+        BoundParams { tape, vars: self.mats.iter().map(|m| tape.leaf(m.clone())).collect() }
+    }
+}
+
+/// Parameters bound to a specific tape as leaf nodes.
+pub struct BoundParams<'t> {
+    tape: &'t Tape,
+    vars: Vec<Var>,
+}
+
+impl<'t> BoundParams<'t> {
+    /// The tape [`Var`] for parameter `id`.
+    pub fn var(&self, id: ParamId) -> Var {
+        self.vars[id.0]
+    }
+
+    /// The tape this binding belongs to.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Iterates over `(ParamId, Var)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, Var)> + '_ {
+        self.vars.iter().enumerate().map(|(i, &v)| (ParamId(i), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut p = Params::new();
+        let a = p.register(Matrix::ones(2, 2));
+        let b = p.register(Matrix::zeros(1, 3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 7);
+        assert_eq!(p.get(a)[(0, 0)], 1.0);
+        p.get_mut(b)[(0, 2)] = 5.0;
+        assert_eq!(p.get(b)[(0, 2)], 5.0);
+    }
+
+    #[test]
+    fn binding_exposes_values_on_tape() {
+        let mut p = Params::new();
+        let a = p.register(Matrix::full(1, 1, 3.0));
+        let tape = Tape::new();
+        let bound = p.bind(&tape);
+        assert_eq!(tape.value(bound.var(a))[(0, 0)], 3.0);
+        assert_eq!(bound.iter().count(), 1);
+    }
+}

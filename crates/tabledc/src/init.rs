@@ -1,0 +1,128 @@
+//! Cluster-center initialization strategies (paper §3.2, Algorithm 2, and
+//! the Figure 4 ablation).
+
+use clustering::agglomerative::{Agglomerative, Linkage};
+use clustering::birch::Birch;
+use clustering::kmeans::{centroids_from_labels, kmeans_pp_seeds, KMeans, KMeansInit};
+use rand::rngs::StdRng;
+use tensor::random::sample_without_replacement;
+use tensor::Matrix;
+
+/// Initializer for the cluster centers `c` in the latent space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Birch CF-tree initialization — TableDC's choice (Algorithm 2):
+    /// the CF-tree "avoids close proximity and high overlaps" in dense
+    /// spaces and captures cluster granularities hierarchically.
+    Birch,
+    /// K-means (the choice of SDCN/DFCN/DCRN/EDESC).
+    KMeans,
+    /// K-means++ seeding followed by Lloyd refinement.
+    KMeansPlusPlus,
+    /// Random data points as centers.
+    Random,
+    /// Agglomerative (average-linkage) clustering.
+    Agglomerative,
+}
+
+impl Init {
+    /// All strategies, in the order plotted in Figure 4.
+    pub const ALL: [Init; 5] =
+        [Init::Birch, Init::KMeans, Init::KMeansPlusPlus, Init::Random, Init::Agglomerative];
+
+    /// Computes `k` initial centers from the latent matrix `z`.
+    pub fn centers(self, z: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+        assert!(k >= 1 && k <= z.rows(), "Init: bad k = {k} for n = {}", z.rows());
+        match self {
+            Init::Birch => Birch::new(k).fit(z, rng).centers,
+            Init::KMeans => {
+                KMeans { init: KMeansInit::Random, n_init: 1, ..KMeans::new(k) }.fit(z, rng).centroids
+            }
+            Init::KMeansPlusPlus => KMeans::new(k).fit(z, rng).centroids,
+            Init::Random => {
+                let idx = sample_without_replacement(z.rows(), k, rng);
+                z.select_rows(&idx)
+            }
+            Init::Agglomerative => {
+                let labels = Agglomerative::new(k, Linkage::Average).fit(z);
+                let seeds = kmeans_pp_seeds(z, k, rng);
+                centroids_from_labels(z, &labels, k, &seeds)
+            }
+        }
+    }
+
+    /// Display name for the Figure 4 ablation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Init::Birch => "Birch",
+            Init::KMeans => "K-means",
+            Init::KMeansPlusPlus => "K-means++",
+            Init::Random => "Random",
+            Init::Agglomerative => "Agglomerative",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::random::{randn, rng};
+
+    fn blobs(seed: u64) -> Matrix {
+        let mut r = rng(seed);
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut rows = Vec::new();
+        for c in &centers {
+            for _ in 0..20 {
+                let e = randn(1, 2, &mut r);
+                rows.push(vec![c[0] + 0.5 * e[(0, 0)], c[1] + 0.5 * e[(0, 1)]]);
+            }
+        }
+        Matrix::from_row_vecs(&rows)
+    }
+
+    #[test]
+    fn all_initializers_produce_k_centers() {
+        let z = blobs(1);
+        for init in Init::ALL {
+            let c = init.centers(&z, 3, &mut rng(2));
+            assert_eq!(c.shape(), (3, 2), "{}", init.name());
+            assert!(c.all_finite());
+        }
+    }
+
+    #[test]
+    fn structured_initializers_find_the_blobs() {
+        let z = blobs(3);
+        // Every non-random initializer should place one center near each
+        // blob center.
+        for init in [Init::Birch, Init::KMeansPlusPlus, Init::Agglomerative] {
+            let c = init.centers(&z, 3, &mut rng(4));
+            for blob in [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]] {
+                let closest = (0..3)
+                    .map(|i| tensor::distance::sq_euclidean(c.row(i), &blob))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(closest < 2.0, "{}: no center near {blob:?}", init.name());
+            }
+        }
+    }
+
+    #[test]
+    fn random_init_picks_data_points() {
+        let z = blobs(5);
+        let c = Init::Random.centers(&z, 3, &mut rng(6));
+        for i in 0..3 {
+            let is_data_point = z
+                .row_iter()
+                .any(|row| row.iter().zip(c.row(i)).all(|(a, b)| (a - b).abs() < 1e-12));
+            assert!(is_data_point);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad k")]
+    fn rejects_oversized_k() {
+        let z = Matrix::zeros(2, 2);
+        let _ = Init::Birch.centers(&z, 5, &mut rng(0));
+    }
+}

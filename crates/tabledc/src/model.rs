@@ -1,0 +1,426 @@
+//! The TableDC model: autoencoder + Mahalanobis/Cauchy self-supervised
+//! clustering head, trained per Algorithm 1.
+
+use autograd::Tape;
+use clustering::metrics::num_clusters;
+use nn::loss::{kl_div, kl_div_value, mse};
+use nn::{Adam, Autoencoder, Optimizer, ParamId, Params};
+use rand::rngs::StdRng;
+use tensor::Matrix;
+
+use crate::distance::Distance;
+use crate::init::Init;
+use crate::kernel::Kernel;
+
+/// Configuration of a TableDC run. Defaults follow §3 and §4.3 of the
+/// paper; the distance/kernel/init fields expose the Table 5 and Figure 4
+/// ablations.
+#[derive(Debug, Clone)]
+pub struct TableDcConfig {
+    /// Number of clusters 𝕂.
+    pub k: usize,
+    /// Latent dimension (paper: 100; scaled default: 32).
+    pub latent_dim: usize,
+    /// Encoder layer widths, input first, latent last. `None` selects the
+    /// compact default `[d, 128, 64, latent]`; the paper-scale layout is
+    /// available via [`TableDcConfig::paper_architecture`].
+    pub encoder_dims: Option<Vec<usize>>,
+    /// Clustering-loss weight α (Eq. 13; paper: 0.9).
+    pub alpha: f64,
+    /// Distance measure in the self-supervised module (paper: Mahalanobis
+    /// with Σ = 0.01·I).
+    pub distance: Distance,
+    /// Similarity kernel (paper: Cauchy).
+    pub kernel: Kernel,
+    /// Cluster-center initializer (paper: Birch).
+    pub init: Init,
+    /// Autoencoder pretraining epochs (paper: 30, or 100 for entity
+    /// resolution).
+    pub pretrain_epochs: usize,
+    /// Joint training epochs (paper: 200 schema inference / 100 domain
+    /// discovery / 50 entity resolution).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Division-by-zero guard ε of Eq. 8.
+    pub eps: f64,
+}
+
+impl TableDcConfig {
+    /// Scaled-down defaults suitable for CPU experiments.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            latent_dim: 32,
+            encoder_dims: None,
+            alpha: 0.9,
+            distance: Distance::PAPER,
+            kernel: Kernel::PAPER,
+            init: Init::Birch,
+            pretrain_epochs: 30,
+            epochs: 100,
+            lr: 1e-3,
+            eps: 1e-10,
+        }
+    }
+
+    /// The paper-scale architecture: latent 100, encoder
+    /// `d → 500 → 500 → 2000 → 100` (§4.3).
+    pub fn paper_architecture(mut self, input_dim: usize) -> Self {
+        self.latent_dim = 100;
+        self.encoder_dims = Some(vec![input_dim, 500, 500, 2000, 100]);
+        self
+    }
+}
+
+/// Per-epoch training history — the raw series behind Figure 5.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Reconstruction loss `re_loss` per epoch (Eq. 12).
+    pub re_loss: Vec<f64>,
+    /// Clustering loss `KL(p‖m)` per epoch (Eq. 10).
+    pub ce_loss: Vec<f64>,
+    /// Reported divergence `KL(p‖q)` per epoch (the quantity plotted in
+    /// Figure 5's right panel).
+    pub kl_pq: Vec<f64>,
+}
+
+/// A fitted TableDC model.
+pub struct TableDc {
+    config: TableDcConfig,
+    params: Params,
+    ae: Autoencoder,
+    centers: ParamId,
+}
+
+/// Result of fitting TableDC to a dataset.
+pub struct TableDcFit {
+    /// Hard cluster labels (argmax of the soft assignments).
+    pub labels: Vec<usize>,
+    /// Final normalized soft assignments `q` (Eq. 8).
+    pub q: Matrix,
+    /// Final clustering probabilities `m` (Eq. 9, Algorithm 1's output).
+    pub m: Matrix,
+    /// Training history.
+    pub history: History,
+    /// Number of distinct clusters actually used in `labels`.
+    pub clusters_used: usize,
+}
+
+impl TableDc {
+    /// Trains TableDC on the rows of `x` following Algorithm 1:
+    /// AE pretraining, Birch center initialization, then joint optimization
+    /// of `α·KL(p‖m) + re_loss` with Adam.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or exceeds the number of rows.
+    pub fn fit(config: TableDcConfig, x: &Matrix, rng: &mut StdRng) -> (TableDc, TableDcFit) {
+        assert!(config.k >= 1, "TableDC: k must be >= 1");
+        assert!(config.k <= x.rows(), "TableDC: k = {} > n = {}", config.k, x.rows());
+
+        // Standardize features in front of the encoder (part of the deep
+        // model's preprocessing; the raw matrix is what SC baselines see).
+        let x = &x.standardize_cols();
+
+        // Line 1: pretrain the autoencoder.
+        let mut params = Params::new();
+        let ae = match &config.encoder_dims {
+            Some(dims) => Autoencoder::new(&mut params, dims, rng),
+            None => Autoencoder::compact(&mut params, x.cols(), config.latent_dim, rng),
+        };
+        ae.pretrain(&mut params, x, config.pretrain_epochs, config.lr);
+
+        // Line 2: initialize cluster centers with Birch (or an ablation
+        // initializer) on the pretrained latent space.
+        let z0 = ae.embed(&params, x);
+        let c0 = config.init.centers(&z0, config.k, rng);
+        let centers = params.register(c0);
+
+        let mut model = TableDc { config, params, ae, centers };
+        let fit = model.train(x);
+        (model, fit)
+    }
+
+    /// Runs [`TableDc::fit`] `restarts` times and keeps the run whose hard
+    /// labels score the best **silhouette** in its own latent space — an
+    /// unsupervised model-selection criterion, mirroring §4.3's protocol of
+    /// initializing the K-means-based methods 20 times and keeping the
+    /// best solution. Deep fits are expensive, so 3–5 restarts is typical.
+    ///
+    /// # Panics
+    /// Panics if `restarts == 0` (and propagates [`TableDc::fit`] panics).
+    pub fn fit_best_of(
+        config: TableDcConfig,
+        x: &Matrix,
+        restarts: usize,
+        rng: &mut StdRng,
+    ) -> (TableDc, TableDcFit) {
+        assert!(restarts >= 1, "fit_best_of: need at least one restart");
+        let mut best: Option<(f64, TableDc, TableDcFit)> = None;
+        for _ in 0..restarts {
+            let (model, fit) = TableDc::fit(config.clone(), x, rng);
+            let z = model.embed(x);
+            let score = clustering::internal::silhouette_score(&z, &fit.labels);
+            if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
+                best = Some((score, model, fit));
+            }
+        }
+        let (_, model, fit) = best.expect("at least one restart ran");
+        (model, fit)
+    }
+
+    /// Lines 3–12 of Algorithm 1: the joint optimization loop.
+    fn train(&mut self, x: &Matrix) -> TableDcFit {
+        let cfg = self.config.clone();
+        let mut adam = Adam::new(cfg.lr);
+        let mut history = History::default();
+        let mut final_q = Matrix::zeros(x.rows(), cfg.k);
+        let mut final_m = Matrix::zeros(x.rows(), cfg.k);
+
+        for _epoch in 0..cfg.epochs {
+            let tape = Tape::new();
+            let bound = self.params.bind(&tape);
+            let xv = tape.constant(x.clone());
+
+            // Line 4: latent representation z.
+            let z = self.ae.encode(&bound, xv);
+            let recon = self.ae.decode(&bound, z);
+
+            // Lines 5–6: Mahalanobis distances between z and c.
+            let c = bound.var(self.centers);
+            let d2 = cfg
+                .distance
+                .sq_cdist(&tape, z, c)
+                .expect("distance computation failed (non-SPD covariance)");
+
+            // Line 7: Cauchy soft assignments (Eq. 7).
+            let q_raw = cfg.kernel.apply(&tape, d2);
+
+            // Line 8a: normalize q (Eq. 8).
+            let sums = tape.add_scalar(tape.row_sums(q_raw), cfg.eps);
+            let q = tape.div_col_broadcast(q_raw, sums);
+
+            // Line 8b: softmax → predicted probabilities m (Eq. 9).
+            let m = tape.softmax_rows(q);
+
+            // Line 9: target distribution p from q (Eq. 11).
+            let q_val = tape.value(q);
+            let p = target_distribution(&q_val);
+
+            // Line 10: losses (Eq. 10, 12, 13).
+            let ce = kl_div(&tape, &p, m);
+            let re = mse(&tape, xv, recon);
+            let loss = tape.add(tape.scale(ce, cfg.alpha), re);
+
+            history.ce_loss.push(tape.value(ce)[(0, 0)]);
+            history.re_loss.push(tape.value(re)[(0, 0)]);
+            history.kl_pq.push(kl_div_value(&p, &q_val));
+
+            // Line 11: backprop and update.
+            let grads = tape.backward(loss);
+            adam.step_from_tape(&mut self.params, &bound, &grads);
+
+            final_q = q_val;
+            final_m = tape.value(m);
+        }
+
+        if cfg.epochs == 0 {
+            // Still produce assignments from the initialized model.
+            let (q, m) = self.soft_assignments(x);
+            final_q = q;
+            final_m = m;
+        }
+
+        let labels = final_q.argmax_rows();
+        let clusters_used = num_clusters(&labels);
+        TableDcFit { labels, q: final_q, m: final_m, history, clusters_used }
+    }
+
+    /// Computes `(q, m)` for (possibly new) data without training.
+    pub fn soft_assignments(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let xv = tape.constant(x.standardize_cols());
+        let z = self.ae.encode(&bound, xv);
+        let c = bound.var(self.centers);
+        let d2 = self
+            .config
+            .distance
+            .sq_cdist(&tape, z, c)
+            .expect("distance computation failed");
+        let q_raw = self.config.kernel.apply(&tape, d2);
+        let sums = tape.add_scalar(tape.row_sums(q_raw), self.config.eps);
+        let q = tape.div_col_broadcast(q_raw, sums);
+        let m = tape.softmax_rows(q);
+        (tape.value(q), tape.value(m))
+    }
+
+    /// Hard cluster assignment for (possibly new) data.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.soft_assignments(x).0.argmax_rows()
+    }
+
+    /// The latent embedding of `x` under the trained encoder.
+    pub fn embed(&self, x: &Matrix) -> Matrix {
+        self.ae.embed(&self.params, &x.standardize_cols())
+    }
+
+    /// The learned cluster centers (`k × latent_dim`).
+    pub fn centers(&self) -> Matrix {
+        self.params.get(self.centers).clone()
+    }
+
+    /// The configuration this model was trained with.
+    pub fn config(&self) -> &TableDcConfig {
+        &self.config
+    }
+}
+
+/// The target distribution `p` (Eq. 11 with the standard DEC row
+/// normalization): `p_ij ∝ q_ij² / f_j` where `f_j = Σ_i q_ij` are the soft
+/// cluster frequencies; rows are normalized to sum to 1 so `p` is a valid
+/// distribution. Squaring emphasizes confident assignments; dividing by
+/// `f_j` prevents large clusters from dominating (§2.1).
+pub fn target_distribution(q: &Matrix) -> Matrix {
+    let (n, k) = q.shape();
+    let f = q.col_sums();
+    let mut p = Matrix::zeros(n, k);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..k {
+            let v = if f[j] > 0.0 { q[(i, j)] * q[(i, j)] / f[j] } else { 0.0 };
+            p[(i, j)] = v;
+            row_sum += v;
+        }
+        if row_sum > 0.0 {
+            for j in 0..k {
+                p[(i, j)] /= row_sum;
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::metrics::{accuracy, adjusted_rand_index};
+    use datagen::{generate_mixture, MixtureConfig};
+    use tensor::random::rng;
+
+    fn small_config(k: usize) -> TableDcConfig {
+        TableDcConfig {
+            latent_dim: 8,
+            encoder_dims: Some(vec![16, 24, 8]),
+            pretrain_epochs: 15,
+            epochs: 30,
+            ..TableDcConfig::new(k)
+        }
+    }
+
+    fn workload(seed: u64) -> (Matrix, Vec<usize>) {
+        let cfg = MixtureConfig {
+            n: 120,
+            k: 4,
+            dim: 16,
+            separation: 3.0,
+            correlation: 0.4,
+            normalize: true,
+            ..Default::default()
+        };
+        let g = generate_mixture(&cfg, &mut rng(seed));
+        (g.x, g.labels)
+    }
+
+    #[test]
+    fn target_distribution_rows_sum_to_one_and_sharpen() {
+        let q = Matrix::from_rows(&[&[0.6, 0.4], &[0.3, 0.7]]);
+        let p = target_distribution(&q);
+        for i in 0..2 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Sharper: the max entry grows.
+        assert!(p[(0, 0)] > 0.6);
+        assert!(p[(1, 1)] > 0.7);
+    }
+
+    #[test]
+    fn target_distribution_handles_empty_cluster() {
+        let q = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+        let p = target_distribution(&q);
+        assert!(p.all_finite());
+        assert_eq!(p[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_mixture_structure() {
+        let (x, truth) = workload(1);
+        let (_, fit) = TableDc::fit(small_config(4), &x, &mut rng(2));
+        let ari = adjusted_rand_index(&fit.labels, &truth);
+        assert!(ari > 0.5, "ARI = {ari}");
+        assert!(accuracy(&fit.labels, &truth) > 0.6);
+    }
+
+    #[test]
+    fn soft_assignments_are_valid_distributions() {
+        let (x, _) = workload(3);
+        let (model, fit) = TableDc::fit(small_config(4), &x, &mut rng(4));
+        for i in 0..fit.q.rows() {
+            let qs: f64 = fit.q.row(i).iter().sum();
+            let ms: f64 = fit.m.row(i).iter().sum();
+            assert!((qs - 1.0).abs() < 1e-6, "q row {i} sums to {qs}");
+            assert!((ms - 1.0).abs() < 1e-9, "m row {i} sums to {ms}");
+        }
+        // predict() agrees with the fit labels on the training data.
+        assert_eq!(model.predict(&x), fit.labels);
+    }
+
+    #[test]
+    fn reconstruction_loss_decreases() {
+        let (x, _) = workload(5);
+        let (_, fit) = TableDc::fit(small_config(4), &x, &mut rng(6));
+        let first = fit.history.re_loss[0];
+        let last = *fit.history.re_loss.last().expect("non-empty");
+        assert!(
+            last <= first,
+            "re_loss should not increase: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn history_lengths_match_epochs() {
+        let (x, _) = workload(7);
+        let cfg = small_config(4);
+        let epochs = cfg.epochs;
+        let (_, fit) = TableDc::fit(cfg, &x, &mut rng(8));
+        assert_eq!(fit.history.re_loss.len(), epochs);
+        assert_eq!(fit.history.ce_loss.len(), epochs);
+        assert_eq!(fit.history.kl_pq.len(), epochs);
+    }
+
+    #[test]
+    fn zero_epochs_still_assigns_from_init() {
+        let (x, _) = workload(9);
+        let cfg = TableDcConfig { epochs: 0, ..small_config(4) };
+        let (_, fit) = TableDc::fit(cfg, &x, &mut rng(10));
+        assert_eq!(fit.labels.len(), x.rows());
+        assert!(fit.clusters_used >= 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, _) = workload(11);
+        let (_, a) = TableDc::fit(small_config(4), &x, &mut rng(12));
+        let (_, b) = TableDc::fit(small_config(4), &x, &mut rng(12));
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn centers_shape_matches_config() {
+        let (x, _) = workload(13);
+        let (model, _) = TableDc::fit(small_config(4), &x, &mut rng(14));
+        assert_eq!(model.centers().shape(), (4, 8));
+        assert_eq!(model.embed(&x).shape(), (x.rows(), 8));
+    }
+}

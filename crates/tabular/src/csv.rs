@@ -1,0 +1,321 @@
+//! A dependency-free RFC-4180-style CSV reader and writer.
+//!
+//! Handles quoted fields, escaped quotes (`""`), embedded separators, and
+//! embedded newlines inside quotes; both `\n` and `\r\n` record
+//! terminators are accepted. This is the ingestion path that lets TableDC
+//! run on *real* tabular files rather than only on the synthetic corpora.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// CSV parse errors with 1-based line positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// Line where the field started.
+        line: usize,
+    },
+    /// A quote appeared in the middle of an unquoted field.
+    StrayQuote {
+        /// Line of the offending character.
+        line: usize,
+    },
+    /// Records have inconsistent field counts.
+    RaggedRow {
+        /// Line of the offending record.
+        line: usize,
+        /// Field count of that record.
+        got: usize,
+        /// Field count of the first record.
+        expected: usize,
+    },
+    /// Underlying I/O failure (message only, to stay `PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::StrayQuote { line } => {
+                write!(f, "stray quote inside unquoted field on line {line}")
+            }
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parser options.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Reject files whose records have differing field counts.
+    pub strict_width: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self { separator: ',', strict_width: true }
+    }
+}
+
+/// Parses CSV text into records of fields.
+///
+/// # Errors
+/// See [`CsvError`].
+pub fn parse_csv(input: &str, options: CsvOptions) -> Result<Vec<Vec<String>>, CsvError> {
+    let sep = options.separator;
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut line = 1usize;
+    let mut field_start_line = 1usize;
+
+    #[derive(PartialEq)]
+    enum State {
+        FieldStart,
+        Unquoted,
+        Quoted,
+        QuoteInQuoted, // just saw a `"` inside a quoted field
+    }
+    let mut state = State::FieldStart;
+
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        // Normalize \r\n to \n.
+        let c = if c == '\r' {
+            if chars.peek() == Some(&'\n') {
+                continue;
+            }
+            '\n'
+        } else {
+            c
+        };
+        match state {
+            State::FieldStart => {
+                field_start_line = line;
+                if c == '"' {
+                    state = State::Quoted;
+                } else if c == sep {
+                    record.push(std::mem::take(&mut field));
+                } else if c == '\n' {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                } else {
+                    field.push(c);
+                    state = State::Unquoted;
+                }
+            }
+            State::Unquoted => {
+                if c == sep {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                } else if c == '\n' {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                    state = State::FieldStart;
+                } else if c == '"' {
+                    return Err(CsvError::StrayQuote { line });
+                } else {
+                    field.push(c);
+                }
+            }
+            State::Quoted => {
+                if c == '"' {
+                    state = State::QuoteInQuoted;
+                } else {
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    field.push(c);
+                }
+            }
+            State::QuoteInQuoted => {
+                if c == '"' {
+                    field.push('"'); // escaped quote
+                    state = State::Quoted;
+                } else if c == sep {
+                    record.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                } else if c == '\n' {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                    state = State::FieldStart;
+                } else {
+                    return Err(CsvError::StrayQuote { line });
+                }
+            }
+        }
+    }
+    match state {
+        State::Quoted => return Err(CsvError::UnterminatedQuote { line: field_start_line }),
+        State::FieldStart => {
+            // Trailing newline already closed the last record; but a
+            // dangling separator leaves an expected empty field.
+            if !record.is_empty() {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+        }
+        State::Unquoted | State::QuoteInQuoted => {
+            record.push(std::mem::take(&mut field));
+            records.push(std::mem::take(&mut record));
+        }
+    }
+
+    if options.strict_width {
+        if let Some(expected) = records.first().map(Vec::len) {
+            for (i, r) in records.iter().enumerate() {
+                if r.len() != expected {
+                    return Err(CsvError::RaggedRow {
+                        line: i + 1,
+                        got: r.len(),
+                        expected,
+                    });
+                }
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Reads and parses a CSV file.
+///
+/// # Errors
+/// I/O failures and [`CsvError`] parse errors.
+pub fn read_csv_file(path: &Path, options: CsvOptions) -> Result<Vec<Vec<String>>, CsvError> {
+    let text = fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    parse_csv(&text, options)
+}
+
+/// Serializes records to CSV text, quoting fields that need it.
+pub fn write_csv(records: &[Vec<String>], separator: char) -> String {
+    let mut out = String::new();
+    for record in records {
+        let mut first = true;
+        for field in record {
+            if !first {
+                out.push(separator);
+            }
+            first = false;
+            let needs_quote =
+                field.contains(separator) || field.contains('"') || field.contains('\n');
+            if needs_quote {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Vec<Vec<String>> {
+        parse_csv(s, CsvOptions::default()).expect("parse")
+    }
+
+    #[test]
+    fn simple_rows() {
+        let r = parse("a,b,c\n1,2,3\n");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], vec!["a", "b", "c"]);
+        assert_eq!(r[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let r = parse("a,b\n1,2");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_separators_and_newlines() {
+        let r = parse("name,notes\n\"Smith, John\",\"line1\nline2\"\n");
+        assert_eq!(r[1][0], "Smith, John");
+        assert_eq!(r[1][1], "line1\nline2");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let r = parse("a\n\"he said \"\"hi\"\"\"\n");
+        assert_eq!(r[1][0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let r = parse("a,b\r\n1,2\r\n");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let r = parse("a,,c\n,,\n");
+        assert_eq!(r[0], vec!["a", "", "c"]);
+        assert_eq!(r[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_in_strict_mode() {
+        let err = parse_csv("a,b\n1\n", CsvOptions::default()).unwrap_err();
+        assert_eq!(err, CsvError::RaggedRow { line: 2, got: 1, expected: 2 });
+    }
+
+    #[test]
+    fn ragged_rows_allowed_when_lenient() {
+        let opts = CsvOptions { strict_width: false, ..Default::default() };
+        let r = parse_csv("a,b\n1\n", opts).expect("lenient parse");
+        assert_eq!(r[1], vec!["1"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = parse_csv("a\n\"oops\n", CsvOptions::default()).unwrap_err();
+        assert_eq!(err, CsvError::UnterminatedQuote { line: 2 });
+    }
+
+    #[test]
+    fn stray_quote_is_an_error() {
+        let err = parse_csv("a\nb\"c\n", CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::StrayQuote { .. }));
+    }
+
+    #[test]
+    fn alternate_separator() {
+        let opts = CsvOptions { separator: ';', ..Default::default() };
+        let r = parse_csv("a;b\n1;2\n", opts).expect("parse");
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let records = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with \"quote\"".to_string(), "multi\nline".to_string()],
+        ];
+        let text = write_csv(&records, ',');
+        let back = parse(&text);
+        assert_eq!(back, records);
+    }
+}

@@ -1,0 +1,27 @@
+//! # tabular — real-data ingestion for TableDC
+//!
+//! The production path from files to clusterable embeddings: a
+//! dependency-free CSV reader/writer ([`csv`]), a relational table model
+//! with type inference and profiling statistics ([`table`]), and encoders
+//! that turn tables, rows, or columns into the `n × d` matrices
+//! `tabledc::TableDc` consumes ([`encode`]).
+//!
+//! ```
+//! use tabular::csv::{parse_csv, CsvOptions};
+//! use tabular::encode::{embed_rows, EncodeOptions};
+//! use tabular::table::Table;
+//!
+//! let records = parse_csv("title,artist\nhey jude,beatles\nlet it be,beatles\n",
+//!                         CsvOptions::default()).unwrap();
+//! let table = Table::from_records("songs", &records, true);
+//! let embeddings = embed_rows(&table, EncodeOptions::default());
+//! assert_eq!(embeddings.rows(), 2);
+//! ```
+
+pub mod csv;
+pub mod encode;
+pub mod table;
+
+pub use csv::{parse_csv, read_csv_file, write_csv, CsvError, CsvOptions};
+pub use encode::{embed_columns, embed_rows, embed_tables, EncodeOptions};
+pub use table::{Column, ColumnType, Table};

@@ -1,0 +1,258 @@
+//! The relational table model: tables, columns, rows, type inference, and
+//! profiling statistics.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use crate::csv::{read_csv_file, CsvError, CsvOptions};
+
+/// Inferred primitive type of a column (simple profiling, not a full type
+/// system — enough for schema-level similarity features).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// All non-null values parse as integers.
+    Integer,
+    /// All non-null values parse as floats (and not all as integers).
+    Float,
+    /// All non-null values are `true`/`false`/`yes`/`no` (case-insensitive).
+    Boolean,
+    /// Everything else.
+    Text,
+    /// No non-null values.
+    Empty,
+}
+
+/// A named column of string values (nulls are empty strings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Header, if the source had one.
+    pub header: Option<String>,
+    /// Cell values, top to bottom.
+    pub values: Vec<String>,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(header: Option<String>, values: Vec<String>) -> Self {
+        Self { header, values }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of empty-string (null) cells.
+    pub fn null_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|v| v.trim().is_empty()).count() as f64
+            / self.values.len() as f64
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        self.values
+            .iter()
+            .map(|v| v.trim())
+            .filter(|v| !v.is_empty())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// Infers the column's primitive type from its non-null values.
+    pub fn infer_type(&self) -> ColumnType {
+        let non_null: Vec<&str> =
+            self.values.iter().map(|v| v.trim()).filter(|v| !v.is_empty()).collect();
+        if non_null.is_empty() {
+            return ColumnType::Empty;
+        }
+        if non_null.iter().all(|v| v.parse::<i64>().is_ok()) {
+            return ColumnType::Integer;
+        }
+        if non_null.iter().all(|v| v.parse::<f64>().is_ok()) {
+            return ColumnType::Float;
+        }
+        let is_bool = |v: &str| {
+            matches!(v.to_ascii_lowercase().as_str(), "true" | "false" | "yes" | "no")
+        };
+        if non_null.iter().all(|v| is_bool(v)) {
+            return ColumnType::Boolean;
+        }
+        ColumnType::Text
+    }
+
+    /// The column's text for embedding: header (if any) followed by
+    /// values.
+    pub fn text(&self, include_header: bool, max_values: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if include_header {
+            if let Some(h) = &self.header {
+                parts.push(h);
+            }
+        }
+        parts.extend(self.values.iter().take(max_values).map(String::as_str));
+        parts.join(" ")
+    }
+}
+
+/// A table: an ordered set of equally long columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (e.g. the source file stem).
+    pub name: String,
+    /// The columns.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Builds a table from CSV records, treating the first record as the
+    /// header row when `has_header`.
+    ///
+    /// # Panics
+    /// Panics if records are ragged (parse with `strict_width` to avoid).
+    pub fn from_records(name: &str, records: &[Vec<String>], has_header: bool) -> Self {
+        let width = records.first().map_or(0, Vec::len);
+        let (headers, body): (Vec<Option<String>>, &[Vec<String>]) = if has_header
+            && !records.is_empty()
+        {
+            (records[0].iter().map(|h| Some(h.clone())).collect(), &records[1..])
+        } else {
+            (vec![None; width], records)
+        };
+        let columns = headers
+            .into_iter()
+            .enumerate()
+            .map(|(j, header)| {
+                let values = body.iter().map(|r| r[j].clone()).collect();
+                Column::new(header, values)
+            })
+            .collect();
+        Self { name: name.to_string(), columns }
+    }
+
+    /// Loads a table from a CSV file (header row assumed).
+    ///
+    /// # Errors
+    /// Propagates CSV / I/O errors.
+    pub fn from_csv_file(path: &Path) -> Result<Self, CsvError> {
+        let records = read_csv_file(path, CsvOptions::default())?;
+        let name = path.file_stem().map_or_else(
+            || "table".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        Ok(Self::from_records(&name, &records, true))
+    }
+
+    /// Number of rows (excluding the header).
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The `i`-th row's cells.
+    pub fn row(&self, i: usize) -> Vec<&str> {
+        self.columns.iter().map(|c| c.values[i].as_str()).collect()
+    }
+
+    /// Serializes a row as text with `[SEP]` boundaries — the SBERT
+    /// row-serialization of §4.1.3 ("each row is represented as a sequence
+    /// of its cell values appended with [SEP] token").
+    pub fn row_text(&self, i: usize) -> String {
+        self.row(i).join(" [SEP] ")
+    }
+
+    /// The table's schema-level text: header names (or inferred types for
+    /// headerless columns).
+    pub fn schema_text(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| match &c.header {
+                Some(h) => h.clone(),
+                None => format!("{:?}", c.infer_type()).to_lowercase(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_csv;
+
+    fn demo_table() -> Table {
+        let records = parse_csv(
+            "city,population,capital\nparis,2100000,true\nlyon,520000,false\n,,\n",
+            CsvOptions::default(),
+        )
+        .expect("parse");
+        Table::from_records("cities", &records, true)
+    }
+
+    #[test]
+    fn from_records_splits_columns() {
+        let t = demo_table();
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.columns[0].header.as_deref(), Some("city"));
+        assert_eq!(t.columns[0].values[1], "lyon");
+    }
+
+    #[test]
+    fn type_inference() {
+        let t = demo_table();
+        assert_eq!(t.columns[0].infer_type(), ColumnType::Text);
+        assert_eq!(t.columns[1].infer_type(), ColumnType::Integer);
+        assert_eq!(t.columns[2].infer_type(), ColumnType::Boolean);
+        let floats = Column::new(None, vec!["1.5".into(), "2".into()]);
+        assert_eq!(floats.infer_type(), ColumnType::Float);
+        let empty = Column::new(None, vec!["".into(), "  ".into()]);
+        assert_eq!(empty.infer_type(), ColumnType::Empty);
+    }
+
+    #[test]
+    fn profiling_statistics() {
+        let t = demo_table();
+        assert!((t.columns[0].null_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.columns[0].distinct_count(), 2);
+    }
+
+    #[test]
+    fn row_serialization_uses_sep() {
+        let t = demo_table();
+        assert_eq!(t.row_text(0), "paris [SEP] 2100000 [SEP] true");
+    }
+
+    #[test]
+    fn schema_text_includes_headers() {
+        let t = demo_table();
+        assert_eq!(t.schema_text(), "city population capital");
+    }
+
+    #[test]
+    fn headerless_tables_use_inferred_types() {
+        let records =
+            parse_csv("1,x\n2,y\n", CsvOptions::default()).expect("parse");
+        let t = Table::from_records("anon", &records, false);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema_text(), "integer text");
+    }
+
+    #[test]
+    fn column_text_respects_limits() {
+        let c = Column::new(Some("h".into()), vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(c.text(true, 2), "h a b");
+        assert_eq!(c.text(false, 10), "a b c");
+    }
+}

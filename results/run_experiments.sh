@@ -1,0 +1,13 @@
+#!/bin/bash
+# Recorded experiment run: cheap experiments first so partial results
+# survive a wall-clock cap. Seed 42, scaled datasets, epoch-factor 0.5.
+set -x
+cd /root/repo
+BIN=target/release/repro
+OUT=results/repro_all.txt
+: > "$OUT"
+for cmd in table1 fig4 table5 fig5 fig2 ablate-delta ablate-gamma ablate-alpha ablate-covariance ablate-birch-t fig3 table3 table2 table4; do
+  echo "### $cmd ($(date +%H:%M:%S))" >> "$OUT"
+  $BIN "$cmd" --epoch-factor 0.35 >> "$OUT" 2>>results/repro_all.err
+done
+echo "### done $(date +%H:%M:%S)" >> "$OUT"

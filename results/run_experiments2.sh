@@ -1,0 +1,12 @@
+#!/bin/bash
+# Priority continuation: headline tables first, then figures/ablations.
+cd /root/repo
+BIN=target/release/repro
+OUT=results/repro_all.txt
+# Wait for any running repro (fig4) to finish.
+while pgrep -x repro > /dev/null; do sleep 5; done
+for cmd in table3 table2 table4 fig3 fig5 table5 fig2 ablate-delta ablate-gamma ablate-alpha ablate-covariance ablate-birch-t; do
+  echo "### $cmd ($(date +%H:%M:%S))" >> "$OUT"
+  $BIN "$cmd" --epoch-factor 0.35 >> "$OUT" 2>>results/repro_all.err
+done
+echo "### done $(date +%H:%M:%S)" >> "$OUT"
