@@ -1,10 +1,9 @@
 //! Result containers and fixed-width table rendering for the harness.
 
 use clustering::metrics::{accuracy, adjusted_rand_index};
-use serde::Serialize;
 
 /// ARI + ACC of one labelling against ground truth (§4.2).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Scores {
     /// Adjusted Rand Index.
     pub ari: f64,

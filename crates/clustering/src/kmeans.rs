@@ -144,18 +144,46 @@ pub fn kmeans_pp_seeds(x: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
     x.select_rows(&chosen)
 }
 
+/// Row chunk size for the centroid-accumulation reduction. Fixed (never
+/// derived from the thread count) so the reduction tree shape — and thus the
+/// floating-point result — depends only on `n`.
+const CENTROID_CHUNK: usize = 1024;
+
 /// Computes centroids as per-cluster means; clusters that lose all members
 /// keep their previous centroid (standard empty-cluster handling).
+///
+/// Accumulation runs as a fixed-shape parallel reduction over row chunks on
+/// the [`runtime::global`] pool; results are bit-identical for every thread
+/// count (including `TABLEDC_THREADS=1`).
 pub fn centroids_from_labels(x: &Matrix, labels: &[usize], k: usize, previous: &Matrix) -> Matrix {
     let d = x.cols();
-    let mut sums = Matrix::zeros(k, d);
-    let mut counts = vec![0usize; k];
-    for (i, &l) in labels.iter().enumerate() {
-        counts[l] += 1;
-        for (s, &v) in sums.row_mut(l).iter_mut().zip(x.row(i)) {
-            *s += v;
-        }
-    }
+    let acc = runtime::par_reduce(
+        runtime::global(),
+        labels.len(),
+        CENTROID_CHUNK,
+        |range| {
+            let mut sums = Matrix::zeros(k, d);
+            let mut counts = vec![0usize; k];
+            for i in range {
+                let l = labels[i];
+                counts[l] += 1;
+                for (s, &v) in sums.row_mut(l).iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            (sums, counts)
+        },
+        |(mut sa, mut ca), (sb, cb)| {
+            for (a, b) in sa.as_mut_slice().iter_mut().zip(sb.as_slice()) {
+                *a += b;
+            }
+            for (a, b) in ca.iter_mut().zip(cb) {
+                *a += b;
+            }
+            (sa, ca)
+        },
+    );
+    let (mut sums, counts) = acc.unwrap_or_else(|| (Matrix::zeros(k, d), vec![0usize; k]));
     for c in 0..k {
         if counts[c] > 0 {
             let inv = 1.0 / counts[c] as f64;
@@ -176,17 +204,26 @@ trait ArgminRows {
 
 impl ArgminRows for Matrix {
     fn argmax_rows_negated(&self) -> Vec<usize> {
-        self.row_iter()
-            .map(|row| {
+        let n = self.rows();
+        let mut out = vec![0usize; n];
+        if n == 0 || self.cols() == 0 {
+            return out;
+        }
+        let pool = runtime::global();
+        let block = runtime::block_rows(n, pool.threads(), 256);
+        runtime::par_for_rows(pool, &mut out, 1, block, |first_row, chunk| {
+            for (r, slot) in chunk.iter_mut().enumerate() {
+                let row = self.row(first_row + r);
                 let mut best = 0;
                 for (j, &x) in row.iter().enumerate().skip(1) {
                     if x < row[best] {
                         best = j;
                     }
                 }
-                best
-            })
-            .collect()
+                *slot = best;
+            }
+        });
+        out
     }
 }
 

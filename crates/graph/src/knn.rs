@@ -15,7 +15,16 @@ use crate::csr::Csr;
 ///
 /// Distances are Euclidean. Complexity is `O(n² d)` time and `O(n·k)`
 /// memory; the n² distance pass is chunked so it never materializes more
-/// than one row block.
+/// than one row block, and the chunks run in parallel on the
+/// [`runtime::global`] pool. Each chunk reuses one candidate-index scratch
+/// buffer across its rows instead of allocating per row, and selection uses
+/// [`f64::total_cmp`] so a NaN distance degrades deterministically (NaN
+/// sorts above every real distance and is simply never picked as a
+/// neighbour while real candidates remain) instead of panicking.
+///
+/// The neighbour set per row is independent of the thread count, so the
+/// resulting graph is identical under `TABLEDC_THREADS=1` and parallel
+/// execution.
 ///
 /// # Panics
 /// Panics if `k >= n` or `k == 0`.
@@ -24,25 +33,26 @@ pub fn knn_adjacency(x: &Matrix, k: usize) -> Csr {
     assert!(k > 0, "knn_adjacency: k must be positive");
     assert!(k < n, "knn_adjacency: k = {k} must be < n = {n}");
     const CHUNK: usize = 256;
-    let mut triplets = Vec::with_capacity(n * k);
-    let mut start = 0;
-    while start < n {
-        let end = (start + CHUNK).min(n);
+    // One slot of k neighbour ids per row, filled by disjoint row chunks.
+    let mut neighbors = vec![0usize; n * k];
+    runtime::par_for_rows(runtime::global(), &mut neighbors, k, CHUNK, |start, slots| {
+        let rows = slots.len() / k;
+        let end = start + rows;
         let block = x.select_rows(&(start..end).collect::<Vec<_>>());
         let d = sq_euclidean_cdist(&block, x);
+        // Candidate list hoisted out of the row loop and reused.
+        let mut idx: Vec<usize> = Vec::with_capacity(n - 1);
         for (bi, i) in (start..end).enumerate() {
             // Partial selection of the k smallest distances, skipping self.
             let row = d.row(bi);
-            let mut idx: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            idx.select_nth_unstable_by(k - 1, |&a, &b| {
-                row[a].partial_cmp(&row[b]).expect("NaN distance in knn")
-            });
-            for &j in &idx[..k] {
-                triplets.push((i, j, 1.0));
-            }
+            idx.clear();
+            idx.extend((0..n).filter(|&j| j != i));
+            idx.select_nth_unstable_by(k - 1, |&a, &b| row[a].total_cmp(&row[b]));
+            slots[bi * k..(bi + 1) * k].copy_from_slice(&idx[..k]);
         }
-        start = end;
-    }
+    });
+    let triplets: Vec<(usize, usize, f64)> =
+        neighbors.iter().enumerate().map(|(s, &j)| (s / k, j, 1.0)).collect();
     Csr::from_triplets(n, n, &triplets)
 }
 

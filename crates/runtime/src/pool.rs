@@ -1,0 +1,487 @@
+//! The work-stealing thread pool and scoped task execution.
+//!
+//! ## Design
+//!
+//! Each pool owns `threads − 1` OS worker threads (a pool of `threads == 1`
+//! owns none and runs everything inline on the caller). Every worker has a
+//! private deque: it pushes and pops its own work LIFO (cache-warm), while
+//! other workers steal FIFO from the opposite end — the classic
+//! work-stealing discipline. Tasks submitted from outside the pool land in a
+//! shared injector queue that all workers drain.
+//!
+//! Blocking waits are cooperative: a thread waiting for a [`Scope`] to drain
+//! *helps*, executing queued tasks until the scope's latch opens. This makes
+//! nested parallelism (a parallel kernel calling another parallel kernel)
+//! deadlock-free with any thread count.
+//!
+//! ## Safety
+//!
+//! [`Scope::spawn`] accepts closures borrowing the caller's stack (`'env`
+//! lifetime). The single `unsafe` block in this module erases that lifetime
+//! so the job can sit in the pool's queues; soundness rests on the scope
+//! invariant that [`ThreadPool::scope`] does not return — not even by
+//! unwinding — until every spawned task has finished (enforced by a
+//! drop-guard decrementing the latch even on panic).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Snapshot of a pool's lifetime counters — the first observability hook of
+/// the runtime subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total parallelism (worker threads plus the helping caller).
+    pub threads: usize,
+    /// Tasks executed to completion across all threads.
+    pub tasks_executed: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Cumulative wall-clock time threads spent executing tasks.
+    pub busy: Duration,
+}
+
+#[derive(Default)]
+struct Counters {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// Unique id distinguishing pools for the thread-local worker marker.
+    pool_id: usize,
+    /// Per-worker deques: owner pops LIFO from the back, thieves pop FIFO
+    /// from the front.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow queue for tasks submitted from non-worker threads.
+    injector: Mutex<VecDeque<Job>>,
+    /// Sleep generation: bumped on every push so parked workers never miss
+    /// a wakeup (a worker only sleeps if the generation it read before its
+    /// final queue scan is still current).
+    sleep_gen: Mutex<u64>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+impl Shared {
+    /// Pops a job: own deque first (LIFO), then the injector, then steals
+    /// from the other workers (FIFO).
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            if let Some(job) = self.locals[i].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.locals[victim].lock().unwrap().pop_front() {
+                self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs a job. Worker threads must never unwind, so panics are
+    /// swallowed here; scope tasks have already recorded the panic in their
+    /// latch by this point. Busy-time/task counters are updated inside the
+    /// job wrapper itself (see [`Scope::spawn`]) so they are visible before
+    /// the scope's latch releases.
+    fn run_job(&self, job: Job) {
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+
+    fn push(&self, job: Job) {
+        let me = current_worker(self.pool_id);
+        match me {
+            Some(i) => self.locals[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        // Bump the generation *then* notify, so any worker that scanned the
+        // queues before this push refuses to sleep on the stale generation.
+        *self.sleep_gen.lock().unwrap() += 1;
+        self.wakeup.notify_all();
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        WORKER.with(|w| w.set(Some((self.pool_id, index))));
+        loop {
+            let gen = *self.sleep_gen.lock().unwrap();
+            if let Some(job) = self.find_job(Some(index)) {
+                self.run_job(job);
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let guard = self.sleep_gen.lock().unwrap();
+            if *guard == gen && !self.shutdown.load(Ordering::Acquire) {
+                // Timed wait as a backstop; the generation protocol already
+                // prevents lost wakeups.
+                let _ = self.wakeup.wait_timeout(guard, Duration::from_millis(2)).unwrap();
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// `(pool_id, worker_index)` when the current thread is a pool worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+fn current_worker(pool_id: usize) -> Option<usize> {
+    WORKER.with(|w| w.get().and_then(|(p, i)| (p == pool_id).then_some(i)))
+}
+
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A std-only work-stealing thread pool with scoped execution.
+///
+/// See the [module docs](self) for the design. Construct explicit pools for
+/// tests and tools; production kernels share the process-wide
+/// [`global`](crate::global) pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with total parallelism `threads` (clamped to ≥ 1).
+    ///
+    /// `threads − 1` worker threads are spawned; the thread that blocks in
+    /// [`ThreadPool::scope`] contributes the final unit of parallelism by
+    /// helping. `threads == 1` spawns nothing and executes all work inline —
+    /// the pure-serial debugging mode selected by `TABLEDC_THREADS=1`.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let n_workers = threads - 1;
+        let shared = Arc::new(Shared {
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            locals: (0..n_workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_gen: Mutex::new(0),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tabledc-worker-{i}"))
+                    .spawn(move || shared.worker_loop(i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, threads, workers }
+    }
+
+    /// Total parallelism of this pool.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this pool executes everything inline on the caller.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            threads: self.threads,
+            tasks_executed: c.tasks.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(c.busy_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks borrowing the surrounding
+    /// stack frame can be spawned; returns only after every spawned task has
+    /// completed. Panics from tasks are re-raised here after the scope has
+    /// fully drained.
+    ///
+    /// On a serial pool, spawned tasks execute immediately inline, giving a
+    /// sequential schedule with zero synchronization.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R + 'env,
+    {
+        let scope = Scope {
+            pool: self,
+            latch: Arc::new(Latch::default()),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.wait(&scope.latch);
+        let task_panicked = scope.latch.panicked.swap(false, Ordering::AcqRel);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                assert!(!task_panicked, "a task spawned in a runtime scope panicked");
+                value
+            }
+        }
+    }
+
+    /// Blocks until `latch` opens, executing queued tasks while waiting so
+    /// that nested scopes cannot deadlock and the caller contributes a full
+    /// unit of parallelism.
+    fn wait(&self, latch: &Latch) {
+        if latch.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let me = current_worker(self.shared.pool_id);
+        loop {
+            if latch.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = self.shared.find_job(me) {
+                self.shared.run_job(job);
+                continue;
+            }
+            let guard = latch.mutex.lock().unwrap();
+            if latch.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Short timeout: completions notify the latch condvar, but a
+            // *new stealable job* does not, so re-scan periodically.
+            let _ = latch.cvar.wait_timeout(guard, Duration::from_micros(500)).unwrap();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        *self.shared.sleep_gen.lock().unwrap() += 1;
+        self.shared.wakeup.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Completion latch for one scope: a pending-task count plus the condvar
+/// waiters park on.
+#[derive(Default)]
+struct Latch {
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<()>,
+    cvar: Condvar,
+}
+
+/// Drop-guard that counts a task as finished even if it unwinds.
+struct CompletionGuard {
+    latch: Arc<Latch>,
+    completed: bool,
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.latch.panicked.store(true, Ordering::Release);
+        }
+        if self.latch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task out: take the lock so a waiter between its pending
+            // check and its wait cannot miss this notification.
+            drop(self.latch.mutex.lock().unwrap());
+            self.latch.cvar.notify_all();
+        }
+    }
+}
+
+/// Handle for spawning tasks that may borrow data with lifetime `'env`.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    latch: Arc<Latch>,
+    /// Invariant over `'env` so the borrow checker cannot shrink the
+    /// spawned closures' lifetime requirement.
+    _env: PhantomData<*mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawns `f` onto the pool. On a serial pool, runs `f` inline
+    /// immediately (sequential program order).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if self.pool.is_serial() {
+            f();
+            return;
+        }
+        self.latch.pending.fetch_add(1, Ordering::AcqRel);
+        let latch = Arc::clone(&self.latch);
+        let shared = Arc::clone(&self.pool.shared);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // `guard` is declared first so it drops *last*: the counters
+            // below must be published before the latch releases, or a
+            // caller could read `stats()` missing this task.
+            let mut guard = CompletionGuard { latch, completed: false };
+            let started = Instant::now();
+            f();
+            shared.counters.busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            shared.counters.tasks.fetch_add(1, Ordering::Relaxed);
+            guard.completed = true;
+        });
+        // SAFETY: `ThreadPool::scope` blocks until `latch.pending` reaches
+        // zero before returning (on success *and* on unwind), so the job —
+        // and everything it borrows with lifetime `'env` — outlives its
+        // execution. The lifetime is erased only so the job can be stored
+        // in the pool's queues.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job)
+        };
+        self.pool.shared.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            let order = &order;
+            s.spawn(move || order.lock().unwrap().push(1));
+            s.spawn(move || order.lock().unwrap().push(2));
+        });
+        assert_eq!(*order.lock().unwrap(), vec![1, 2]);
+        assert_eq!(pool.stats().tasks_executed, 0, "inline tasks bypass queues");
+    }
+
+    #[test]
+    fn parallel_scope_completes_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.stats().tasks_executed, 100);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_and_mutate_disjoint_chunks() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u64; 64];
+        pool.scope(|s| {
+            for (b, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move || {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = (b * 16 + i) as u64;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                s.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..8 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate out of scope");
+        assert_eq!(finished.load(Ordering::Relaxed), 8, "scope drains before unwinding");
+        // Pool stays usable after a panicked scope.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let ok = &ok;
+            s.spawn(move || {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_track_busy_time_and_threads() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| std::thread::sleep(Duration::from_millis(2)));
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.tasks_executed, 4);
+        assert!(stats.busy >= Duration::from_millis(8), "busy = {:?}", stats.busy);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        drop(pool); // must not hang
+    }
+}

@@ -236,11 +236,50 @@ impl TableDc {
         TableDcFit { labels, q: final_q, m: final_m, history, clusters_used }
     }
 
+    /// Row-block size for batched inference. Fixed (never derived from the
+    /// thread count) so the block boundaries — and therefore the outputs —
+    /// are identical under `TABLEDC_THREADS=1` and parallel execution.
+    const INFER_BATCH: usize = 512;
+
     /// Computes `(q, m)` for (possibly new) data without training.
+    ///
+    /// Standardization statistics are computed over the full matrix first;
+    /// everything downstream is row-independent, so inference runs in
+    /// parallel row blocks (each with its own local [`Tape`]) on the
+    /// [`runtime::global`] pool with bit-identical results for every thread
+    /// count.
     pub fn soft_assignments(&self, x: &Matrix) -> (Matrix, Matrix) {
+        self.soft_assignments_std(&x.standardize_cols())
+    }
+
+    /// Batched `(q, m)` inference on an already-standardized matrix.
+    fn soft_assignments_std(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let n = x.rows();
+        if n <= Self::INFER_BATCH {
+            return self.soft_assignments_block(x);
+        }
+        let num_blocks = n.div_ceil(Self::INFER_BATCH);
+        let mut slots: Vec<Option<(Matrix, Matrix)>> = vec![None; num_blocks];
+        runtime::par_for_rows(runtime::global(), &mut slots, 1, 1, |b, slot| {
+            let start = b * Self::INFER_BATCH;
+            let end = (start + Self::INFER_BATCH).min(n);
+            let rows: Vec<usize> = (start..end).collect();
+            slot[0] = Some(self.soft_assignments_block(&x.select_rows(&rows)));
+        });
+        let mut it = slots.into_iter().map(|s| s.expect("every block filled"));
+        let (mut q, mut m) = it.next().expect("at least one block");
+        for (qb, mb) in it {
+            q = q.vcat(&qb);
+            m = m.vcat(&mb);
+        }
+        (q, m)
+    }
+
+    /// `(q, m)` for one row block on a fresh local tape.
+    fn soft_assignments_block(&self, x: &Matrix) -> (Matrix, Matrix) {
         let tape = Tape::new();
         let bound = self.params.bind(&tape);
-        let xv = tape.constant(x.standardize_cols());
+        let xv = tape.constant(x.clone());
         let z = self.ae.encode(&bound, xv);
         let c = bound.var(self.centers);
         let d2 = self
@@ -414,6 +453,29 @@ mod tests {
         let (_, a) = TableDc::fit(small_config(4), &x, &mut rng(12));
         let (_, b) = TableDc::fit(small_config(4), &x, &mut rng(12));
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn batched_inference_bit_identical_to_unblocked() {
+        // n > INFER_BATCH exercises the parallel row-blocked inference path;
+        // its stitched output must be bit-identical to one monolithic tape
+        // pass over the same standardized matrix.
+        let cfg = MixtureConfig {
+            n: TableDc::INFER_BATCH * 2 + 77,
+            k: 3,
+            dim: 16,
+            separation: 3.0,
+            ..Default::default()
+        };
+        let g = generate_mixture(&cfg, &mut rng(20));
+        let tcfg = TableDcConfig { pretrain_epochs: 2, epochs: 2, ..small_config(3) };
+        let (model, _) = TableDc::fit(tcfg, &g.x, &mut rng(21));
+        let xs = g.x.standardize_cols();
+        let (q_blocked, m_blocked) = model.soft_assignments_std(&xs);
+        let (q_ref, m_ref) = model.soft_assignments_block(&xs);
+        assert!(q_blocked == q_ref, "blocked q differs from single-tape q");
+        assert!(m_blocked == m_ref, "blocked m differs from single-tape m");
+        assert_eq!(q_blocked.shape(), (cfg.n, 3));
     }
 
     #[test]

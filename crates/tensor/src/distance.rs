@@ -13,27 +13,13 @@ use crate::matrix::Matrix;
 ///
 /// Uses the expansion `‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b` so the dominant cost is
 /// a single matmul; tiny negative values from cancellation are clamped to 0.
+/// Runs in parallel row blocks on the [`runtime::global`] pool with
+/// bit-identical results for every thread count.
 ///
 /// # Panics
 /// Panics if the feature dimensions differ.
 pub fn sq_euclidean_cdist(x: &Matrix, y: &Matrix) -> Matrix {
-    assert_eq!(
-        x.cols(),
-        y.cols(),
-        "sq_euclidean_cdist: feature dims differ ({} vs {})",
-        x.cols(),
-        y.cols()
-    );
-    let xn: Vec<f64> = x.row_iter().map(|r| r.iter().map(|v| v * v).sum()).collect();
-    let yn: Vec<f64> = y.row_iter().map(|r| r.iter().map(|v| v * v).sum()).collect();
-    let mut g = x.matmul(&y.transpose());
-    for i in 0..g.rows() {
-        for j in 0..g.cols() {
-            let d = xn[i] + yn[j] - 2.0 * g[(i, j)];
-            g[(i, j)] = d.max(0.0);
-        }
-    }
-    g
+    crate::par::sq_euclidean_cdist(runtime::global(), x, y)
 }
 
 /// Pairwise Euclidean distances (the square root of
@@ -45,17 +31,10 @@ pub fn euclidean_cdist(x: &Matrix, y: &Matrix) -> Matrix {
 }
 
 /// Pairwise **cosine distances** `1 − cos(a, b)` between rows of `x` and
-/// rows of `y`. Zero vectors get distance 1 to everything (cosine
-/// undefined → treated as orthogonal).
+/// rows of `y`, in parallel row blocks. Zero vectors get distance 1 to
+/// everything (cosine undefined → treated as orthogonal).
 pub fn cosine_cdist(x: &Matrix, y: &Matrix) -> Matrix {
-    assert_eq!(x.cols(), y.cols(), "cosine_cdist: feature dims differ");
-    let xn = x.normalize_rows();
-    let yn = y.normalize_rows();
-    let mut sim = xn.matmul(&yn.transpose());
-    // Zero rows in either input produce similarity 0 → distance 1, and
-    // rounding can push |cos| slightly past 1.
-    sim.map_inplace(|s| (1.0 - s.clamp(-1.0, 1.0)).max(0.0));
-    sim
+    crate::par::cosine_cdist(runtime::global(), x, y)
 }
 
 /// Pairwise **squared Mahalanobis** distances with covariance Σ, computed

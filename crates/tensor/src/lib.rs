@@ -13,6 +13,7 @@
 pub mod distance;
 pub mod linalg;
 pub mod matrix;
+pub mod par;
 pub mod random;
 
 pub use linalg::{cholesky, empirical_covariance, solve_lower, solve_upper, spd_inverse, LinalgError};

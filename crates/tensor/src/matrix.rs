@@ -11,8 +11,6 @@
 use std::fmt;
 use std::ops::{Add, Div, Index, IndexMut, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major matrix of `f64`.
 ///
 /// Element `(i, j)` lives at `data[i * cols + j]`. Shapes are validated on
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// mismatch (a programming error, not a recoverable condition), while
 /// numerically fallible routines such as Cholesky live in
 /// [`crate::linalg`] and return [`Result`].
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -252,32 +250,14 @@ impl Matrix {
     ///
     /// The kernel is the classic `ikj` loop order so the innermost loop
     /// streams contiguously through both the output row and the right-hand
-    /// row, which LLVM auto-vectorizes.
+    /// row, which LLVM auto-vectorizes; output row blocks are computed in
+    /// parallel on the [`runtime::global`] pool. Results are bit-identical
+    /// for every thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions differ ({}x{} · {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::par::matmul(runtime::global(), self, other)
     }
 
     /// Sum of all elements.
@@ -316,19 +296,10 @@ impl Matrix {
         self.col_sums().into_iter().map(|s| s / n).collect()
     }
 
-    /// Index of the maximum element in each row (ties go to the first).
+    /// Index of the maximum element in each row (ties go to the first),
+    /// computed in parallel row blocks.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        self.row_iter()
-            .map(|row| {
-                let mut best = 0;
-                for (j, &x) in row.iter().enumerate().skip(1) {
-                    if x > row[best] {
-                        best = j;
-                    }
-                }
-                best
-            })
-            .collect()
+        crate::par::argmax_rows(runtime::global(), self)
     }
 
     /// Squared Frobenius norm.
@@ -382,37 +353,16 @@ impl Matrix {
     }
 
     /// Row-wise softmax: each output row is `exp(x) / Σ exp(x)`, computed
-    /// with the max-subtraction trick for numerical stability.
+    /// with the max-subtraction trick for numerical stability, in parallel
+    /// row blocks.
     pub fn softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for row in out.data.chunks_exact_mut(self.cols.max(1)) {
-            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
-                sum += *x;
-            }
-            if sum > 0.0 {
-                for x in row.iter_mut() {
-                    *x /= sum;
-                }
-            }
-        }
-        out
+        crate::par::softmax_rows(runtime::global(), self)
     }
 
-    /// Normalizes each row to unit L2 norm; zero rows are left unchanged.
+    /// Normalizes each row to unit L2 norm in parallel row blocks; zero
+    /// rows are left unchanged.
     pub fn normalize_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for row in out.data.chunks_exact_mut(self.cols.max(1)) {
-            let norm = row.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm > 0.0 {
-                for x in row.iter_mut() {
-                    *x /= norm;
-                }
-            }
-        }
-        out
+        crate::par::normalize_rows(runtime::global(), self)
     }
 
     /// Standardizes each column to zero mean and unit variance (columns

@@ -1,0 +1,249 @@
+//! Pool-parameterized parallel kernels behind the [`Matrix`] hot paths.
+//!
+//! The public `Matrix` methods (`matmul`, `softmax_rows`, …) and the
+//! [`crate::distance`] kernels delegate here with the process-wide
+//! [`runtime::global`] pool; these explicit-pool variants exist so tests can
+//! assert the determinism contract across pools of different sizes.
+//!
+//! Every kernel computes exactly the same per-element arithmetic as its
+//! serial predecessor — parallelism only re-schedules disjoint row blocks —
+//! so outputs are **bit-identical for every thread count**, including the
+//! `TABLEDC_THREADS=1` pure-serial mode.
+
+use runtime::{block_rows, par_for_rows, par_join, ThreadPool};
+
+use crate::matrix::Matrix;
+
+/// Rows below which row-wise maps stay on one thread (scheduling overhead
+/// dominates under this size; the cutoff never affects results).
+const MIN_MAP_ROWS: usize = 64;
+
+/// Matrix product `a · b` on an explicit pool.
+///
+/// The kernel is the classic `ikj` loop order: the innermost loop streams
+/// contiguously through the output row and the right-hand row, and is kept
+/// free of branches so LLVM auto-vectorizes it. Output rows are computed in
+/// disjoint parallel blocks.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(pool: &ThreadPool, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions differ ({}x{} · {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, m);
+    if n == 0 || m == 0 || k == 0 {
+        return out;
+    }
+    // Cheap rows (small k·m) get coarser blocks so per-task work stays
+    // meaningful; the blocking is invisible in the output.
+    let min_rows = (32_768 / (k * m).max(1)).max(8);
+    let block = block_rows(n, pool.threads(), min_rows);
+    par_for_rows(pool, out.as_mut_slice(), m, block, |first_row, chunk| {
+        for (r, out_row) in chunk.chunks_exact_mut(m).enumerate() {
+            let a_row = a.row(first_row + r);
+            for (p, &av) in a_row.iter().enumerate() {
+                let b_row = b.row(p);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Pairwise squared Euclidean distances on an explicit pool (see
+/// [`crate::distance::sq_euclidean_cdist`]).
+pub fn sq_euclidean_cdist(pool: &ThreadPool, x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(
+        x.cols(),
+        y.cols(),
+        "sq_euclidean_cdist: feature dims differ ({} vs {})",
+        x.cols(),
+        y.cols()
+    );
+    let (xn, yn): (Vec<f64>, Vec<f64>) = par_join(
+        pool,
+        || x.row_iter().map(|r| r.iter().map(|v| v * v).sum()).collect(),
+        || y.row_iter().map(|r| r.iter().map(|v| v * v).sum()).collect(),
+    );
+    let mut g = matmul(pool, x, &y.transpose());
+    let m = g.cols();
+    if m == 0 || g.rows() == 0 {
+        return g;
+    }
+    let block = block_rows(g.rows(), pool.threads(), MIN_MAP_ROWS);
+    let (xn, yn) = (&xn, &yn);
+    par_for_rows(pool, g.as_mut_slice(), m, block, |first_row, chunk| {
+        for (r, row) in chunk.chunks_exact_mut(m).enumerate() {
+            let xni = xn[first_row + r];
+            for (v, &ynj) in row.iter_mut().zip(yn.iter()) {
+                *v = (xni + ynj - 2.0 * *v).max(0.0);
+            }
+        }
+    });
+    g
+}
+
+/// Pairwise cosine distances on an explicit pool (see
+/// [`crate::distance::cosine_cdist`]).
+pub fn cosine_cdist(pool: &ThreadPool, x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(x.cols(), y.cols(), "cosine_cdist: feature dims differ");
+    let (xn, yn) = par_join(pool, || normalize_rows(pool, x), || normalize_rows(pool, y));
+    let mut sim = matmul(pool, &xn, &yn.transpose());
+    map_rows(pool, &mut sim, |row| {
+        for s in row {
+            *s = (1.0 - s.clamp(-1.0, 1.0)).max(0.0);
+        }
+    });
+    sim
+}
+
+/// Row-wise softmax on an explicit pool (see [`Matrix::softmax_rows`]).
+pub fn softmax_rows(pool: &ThreadPool, x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    map_rows(pool, &mut out, |row| {
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    });
+    out
+}
+
+/// Row-wise L2 normalization on an explicit pool (see
+/// [`Matrix::normalize_rows`]); zero rows are left unchanged.
+pub fn normalize_rows(pool: &ThreadPool, x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    map_rows(pool, &mut out, |row| {
+        let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    });
+    out
+}
+
+/// Per-row argmax on an explicit pool (ties to the first maximum, matching
+/// the serial [`Matrix::argmax_rows`]).
+pub fn argmax_rows(pool: &ThreadPool, x: &Matrix) -> Vec<usize> {
+    let n = x.rows();
+    let mut out = vec![0usize; n];
+    if n == 0 || x.cols() == 0 {
+        return out;
+    }
+    let block = block_rows(n, pool.threads(), 256);
+    par_for_rows(pool, &mut out, 1, block, |first_row, chunk| {
+        for (r, slot) in chunk.iter_mut().enumerate() {
+            let row = x.row(first_row + r);
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate().skip(1) {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            *slot = best;
+        }
+    });
+    out
+}
+
+/// Applies `f` to every row of `m` in parallel disjoint blocks.
+fn map_rows(pool: &ThreadPool, m: &mut Matrix, f: impl Fn(&mut [f64]) + Sync) {
+    let cols = m.cols();
+    if m.rows() == 0 || cols == 0 {
+        return;
+    }
+    let block = block_rows(m.rows(), pool.threads(), MIN_MAP_ROWS);
+    par_for_rows(pool, m.as_mut_slice(), cols, block, |_, chunk| {
+        for row in chunk.chunks_exact_mut(cols) {
+            f(row);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> Vec<ThreadPool> {
+        [1, 2, 4, 8].into_iter().map(ThreadPool::new).collect()
+    }
+
+    /// Deterministic pseudo-random matrix without an RNG dependency.
+    fn test_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(salt);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) * 10.0 - 5.0
+        })
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_pools() {
+        let a = test_matrix(67, 33, 1);
+        let b = test_matrix(33, 29, 2);
+        let reference = matmul(&ThreadPool::new(1), &a, &b);
+        for pool in pools() {
+            let got = matmul(&pool, &a, &b);
+            assert!(got == reference, "threads = {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn cdist_bit_identical_across_pools() {
+        let x = test_matrix(131, 17, 3);
+        let y = test_matrix(9, 17, 4);
+        let reference = sq_euclidean_cdist(&ThreadPool::new(1), &x, &y);
+        for pool in pools() {
+            assert!(sq_euclidean_cdist(&pool, &x, &y) == reference);
+            assert!(cosine_cdist(&pool, &x, &y) == cosine_cdist(&ThreadPool::new(1), &x, &y));
+        }
+    }
+
+    #[test]
+    fn rowwise_kernels_bit_identical_across_pools() {
+        let x = test_matrix(200, 13, 5);
+        let serial = ThreadPool::new(1);
+        for pool in pools() {
+            assert!(softmax_rows(&pool, &x) == softmax_rows(&serial, &x));
+            assert!(normalize_rows(&pool, &x) == normalize_rows(&serial, &x));
+            assert_eq!(argmax_rows(&pool, &x), argmax_rows(&serial, &x));
+        }
+    }
+
+    #[test]
+    fn adversarial_shapes() {
+        for pool in pools() {
+            // 0×n and n×0 matmuls.
+            assert_eq!(matmul(&pool, &Matrix::zeros(0, 5), &Matrix::zeros(5, 3)).shape(), (0, 3));
+            assert_eq!(matmul(&pool, &Matrix::zeros(4, 0), &Matrix::zeros(0, 3)).shape(), (4, 3));
+            assert_eq!(matmul(&pool, &Matrix::zeros(4, 5), &Matrix::zeros(5, 0)).shape(), (4, 0));
+            // 1×1.
+            let one = Matrix::from_rows(&[&[3.0]]);
+            assert_eq!(matmul(&pool, &one, &one)[(0, 0)], 9.0);
+            // Empty cdist.
+            assert_eq!(sq_euclidean_cdist(&pool, &Matrix::zeros(0, 4), &Matrix::zeros(2, 4)).shape(), (0, 2));
+            assert_eq!(argmax_rows(&pool, &Matrix::zeros(0, 0)), Vec::<usize>::new());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Parallel-runtime smoke check: times `sq_euclidean_cdist` on a
+//! 2000×128 matrix with a serial pool and with the full machine, verifies
+//! the outputs are bit-identical, and exits non-zero if the parallel run is
+//! more than 1.5× slower than serial (a regression guard, not a benchmark).
+//!
+//! ```sh
+//! cargo run --release -p bench --example par_smoke
+//! ```
+
+use std::time::{Duration, Instant};
+
+use runtime::ThreadPool;
+use tensor::random::{randn, rng};
+use tensor::{par, Matrix};
+
+/// Best-of-`reps` wall time for one cdist on the given pool.
+fn time_cdist(pool: &ThreadPool, x: &Matrix, y: &Matrix, reps: usize) -> (Duration, Matrix) {
+    let mut best = Duration::MAX;
+    let mut out = Matrix::zeros(0, 0);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let d = par::sq_euclidean_cdist(pool, x, y);
+        best = best.min(started.elapsed());
+        out = d;
+    }
+    (best, out)
+}
+
+fn main() {
+    let mut r = rng(42);
+    let x = randn(2000, 128, &mut r);
+    let y = randn(256, 128, &mut r);
+
+    let serial = ThreadPool::new(1);
+    let parallel = runtime::global();
+    println!(
+        "pools: serial = 1 thread, parallel = {} threads ({}={:?})",
+        parallel.threads(),
+        runtime::THREADS_ENV,
+        std::env::var(runtime::THREADS_ENV).ok()
+    );
+
+    // Warm-up outside the timed region.
+    let _ = time_cdist(&serial, &x, &y, 1);
+    let _ = time_cdist(parallel, &x, &y, 1);
+
+    let (t_serial, d_serial) = time_cdist(&serial, &x, &y, 5);
+    let (t_parallel, d_parallel) = time_cdist(parallel, &x, &y, 5);
+    println!("sq_euclidean_cdist 2000x128 · 256x128:");
+    println!("  serial   {t_serial:?}");
+    println!("  parallel {t_parallel:?}");
+
+    assert!(d_serial == d_parallel, "serial and parallel cdist outputs differ");
+    println!("  outputs bit-identical: ok");
+
+    let stats = parallel.stats();
+    println!(
+        "  pool stats: {} tasks, {} steals, busy {:?}",
+        stats.tasks_executed, stats.steals, stats.busy
+    );
+
+    // With one worker the "parallel" pool *is* the serial pool; only apply
+    // the slowdown gate when there is real parallelism to exercise.
+    if parallel.threads() > 1 {
+        let limit = t_serial.as_secs_f64() * 1.5;
+        if t_parallel.as_secs_f64() > limit {
+            eprintln!(
+                "FAIL: parallel cdist {t_parallel:?} is more than 1.5x serial {t_serial:?}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "  speedup {:.2}x (gate: parallel must be <= 1.5x serial)",
+            t_serial.as_secs_f64() / t_parallel.as_secs_f64()
+        );
+    }
+    println!("par_smoke: ok");
+}

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Tier-1 verification gate plus a serial-vs-parallel runtime smoke.
+#
+#   1. cargo build --release && cargo test -q   (the repo's tier-1 gate)
+#   2. par_smoke example: times sq_euclidean_cdist on a 2000x128 matrix on
+#      a 1-thread pool vs the full pool, asserts the outputs are
+#      bit-identical, and fails if the parallel run is >1.5x slower than
+#      serial.
+#
+# Usage: results/verify.sh   (from anywhere; cd's to the repo root)
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== runtime smoke: serial vs parallel cdist =="
+# Exercise real multi-thread scheduling even on single-core CI boxes; the
+# example still applies its slowdown gate.
+TABLEDC_THREADS=${TABLEDC_THREADS:-4} cargo run --release -q -p bench --example par_smoke
+
+echo "verify.sh: all gates passed"

@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace uses.
+//!
+//! Implements a deliberately small wall-clock harness behind the criterion
+//! API shape (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `criterion_group!`/`criterion_main!`): each benchmark runs one warm-up
+//! iteration, then timed iterations until either `sample_size` iterations
+//! or the group's `measurement_time` elapses, and prints mean/min per
+//! iteration. No statistics, plots, or comparisons — the point is that the
+//! `cargo bench` targets build and run end-to-end offline.
+//!
+//! When invoked with `--test` (as `cargo test` does for benchmark targets)
+//! every benchmark runs exactly one iteration so the tier-1 test gate stays
+//! fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("fn", param)` → displayed as `fn/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Anything acceptable as a benchmark name.
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs `harness = false` bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Only full benching should measure.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            test_mode: self.test_mode,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is fixed at one iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total measuring time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_label(), |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_label(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {label}: no samples (routine never called iter)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!("  {label}: mean {mean:?}, min {min:?} over {} iters", samples.len());
+    }
+}
+
+/// Timing handle passed to benchmark routines, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing one sample per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        black_box(routine()); // warm-up, untimed
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_round_trip() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3).measurement_time(Duration::from_millis(10));
+            group.bench_function("f", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::new("g", 7), &7, |b, &x| {
+                b.iter(|| calls += x)
+            });
+            group.finish();
+        }
+        // test_mode runs exactly one iteration per bench (plus no warm-up).
+        assert_eq!(calls, 1 + 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("TableDC", 40).into_label(), "TableDC/40");
+    }
+}

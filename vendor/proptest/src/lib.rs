@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Supports the property-test style used across the crates:
+//!
+//! ```ignore
+//! proptest! {
+//!     #[test]
+//!     fn my_property(x in 0..10usize, v in proptest::collection::vec(-1.0..1.0f64, 8)) {
+//!         prop_assert!(x < 10);
+//!     }
+//! }
+//! ```
+//!
+//! Each property runs [`CASES`] deterministic cases (seeded per case index),
+//! so failures are reproducible without shrinking. Strategies supported:
+//! integer/float ranges, [`collection::vec`], and [`Strategy::prop_map`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number of generated cases per property.
+pub const CASES: u64 = 64;
+
+/// Deterministic RNG handed to strategies, one per case.
+pub type TestRng = StdRng;
+
+/// Creates the RNG for case `case` of the property named `name`.
+/// Hashing the name decorrelates properties that share a case index.
+pub fn case_rng(name: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A generator of test values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i32, i64, f64);
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for a `Vec` of `len` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Asserts a property-level condition; in this shim, equivalent to
+/// `assert!` (no shrinking, failure reports the failing seed via panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Property-level equality assertion, equivalent to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..5usize, y in -1.0..1.0f64) {
+            prop_assert!(x < 5);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_has_requested_length(v in crate::collection::vec(0..10u8, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn prop_map_applies(d in (0..4usize).prop_map(|x| x * 2)) {
+            prop_assert!(d % 2 == 0 && d < 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4).map(|c| rand::Rng::next_u64(&mut crate::case_rng("p", c))).collect();
+        let b: Vec<u64> = (0..4).map(|c| rand::Rng::next_u64(&mut crate::case_rng("p", c))).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+}

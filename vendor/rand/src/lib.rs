@@ -1,0 +1,267 @@
+//! Offline stand-in for the subset of `rand 0.8` this workspace uses.
+//!
+//! The build environment has no registry access, so the real `rand` crate
+//! cannot be fetched. This vendored crate re-implements, in pure std Rust,
+//! exactly the API surface the workspace touches:
+//!
+//! - [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`]
+//! - [`Rng::gen`] for the primitive types sampled here
+//! - [`Rng::gen_range`] over half-open and inclusive integer/float ranges
+//! - [`Rng::gen_bool`]
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but every consumer in this
+//! repository treats the RNG as an opaque seeded stream and asserts only
+//! statistical or reproducibility properties, so the exact stream does not
+//! matter. Determinism per seed is guaranteed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a supported primitive type.
+    fn gen<T: SampleValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn directly from an RNG via [`Rng::gen`].
+pub trait SampleValue {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl SampleValue for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleValue for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleValue for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl SampleValue for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, the standard
+    /// `(x >> 11) * 2⁻⁵³` construction.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleValue for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo
+                // bias of a plain `% span` would be harmless here, but this
+                // is just as cheap and exact enough for a shim.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                let pick = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(pick as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u8, u16, u32, u64, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u: f64 = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive f64 range");
+        let u: f64 = f64::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seeded generator: xoshiro256++ with SplitMix64 seeding.
+    ///
+    /// Not the same stream as upstream `StdRng`, but deterministic per seed,
+    /// full 64-bit output, and passes the statistical checks in this
+    /// workspace's test suite (moment tests, permutation tests, etc.).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..7usize);
+            assert!((3..7).contains(&x));
+            let y = r.gen_range(0..=4u8);
+            assert!(y <= 4);
+            let z = r.gen_range(-2.0..=3.5f64);
+            assert!((-2.0..=3.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut r = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(5);
+        let _ = r.gen_range(5..5usize);
+    }
+}
