@@ -15,10 +15,27 @@
 //!   --seed <u64>         base RNG seed                [default: 42]
 //!   --epoch-factor <f>   multiplier on training epochs [default: 1.0]
 //!   --ks <a,b,c>         cluster counts for fig3
+//!   --out <path>         machine-readable report path [default: BENCH_repro.json]
 //! ```
+//!
+//! Progress is reported through the structured event sink (set
+//! `TABLEDC_TRACE=stderr` or a file path to see `repro.*` and
+//! `bench.method` events as JSON lines). Each experiment runs under
+//! `catch_unwind`, so one panicking experiment does not kill the sweep:
+//! the run report and the end-of-run summary tables are always produced,
+//! and the process exits nonzero if anything failed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use bench::experiments::{ablations, figures, tables, RunOptions};
+use bench::report::{panic_message, render_table, ExperimentOutcome, MethodRecord, ReproReport};
 use datagen::Scale;
+
+const ALL_COMMANDS: [&str; 14] = [
+    "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
+    "ablate-delta", "ablate-gamma", "ablate-alpha", "ablate-covariance", "ablate-birch-t",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +46,7 @@ fn main() {
 
     let mut opts = RunOptions::default();
     let mut ks: Vec<usize> = vec![50, 100, 200, 400];
+    let mut out_path = "BENCH_repro.json".to_string();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,6 +67,11 @@ fn main() {
                     .map(|s| s.trim().parse().unwrap_or_else(|_| usage_err("bad --ks list")))
                     .collect();
             }
+            "--out" => {
+                i += 1;
+                out_path =
+                    args.get(i).unwrap_or_else(|| usage_err("--out needs a path")).clone();
+            }
             other => usage_err(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -60,40 +83,133 @@ fn main() {
         }
     }
 
-    let run = |name: &str, opts: RunOptions, ks: &[usize]| match name {
-        "table1" => print!("{}", tables::table1(opts)),
-        "table2" => print!("{}", tables::table2(opts).render()),
-        "table3" => print!("{}", tables::table3(opts).render()),
-        "table4" => print!("{}", tables::table4(opts).render()),
-        "table5" => print!("{}", tables::table5(opts).render()),
-        "fig2" => print!("{}", figures::fig2(opts).render()),
-        "fig3" => print!("{}", figures::fig3(opts, ks).render()),
-        "fig4" => print!("{}", figures::fig4(opts).render()),
-        "fig5" => print!("{}", figures::fig5(opts).render(10)),
-        "ablate-delta" => print!("{}", ablations::ablate_delta(opts).render()),
-        "ablate-gamma" => print!("{}", ablations::ablate_gamma(opts).render()),
-        "ablate-alpha" => print!("{}", ablations::ablate_alpha(opts).render()),
-        "ablate-covariance" => print!("{}", ablations::ablate_covariance(opts).render()),
-        "ablate-birch-t" => print!("{}", ablations::ablate_birch_threshold(opts).render()),
-        other => usage_err(&format!("unknown command {other}")),
+    let names: Vec<&str> = if command == "all" {
+        ALL_COMMANDS.to_vec()
+    } else if ALL_COMMANDS.contains(&command.as_str()) {
+        vec![command.as_str()]
+    } else {
+        usage_err(&format!("unknown command {command}"))
     };
 
-    eprintln!(
-        "# repro: scale={:?} seed={} epoch_factor={}",
-        opts.scale, opts.seed, opts.epoch_factor
-    );
-    if command == "all" {
-        for name in [
-            "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5",
-            "ablate-delta", "ablate-gamma", "ablate-alpha", "ablate-covariance",
-            "ablate-birch-t",
-        ] {
-            eprintln!("# running {name} …");
-            run(name, opts, &ks);
+    obs::event("repro.start")
+        .str("command", &command)
+        .str("scale", &format!("{:?}", opts.scale))
+        .u64("seed", opts.seed)
+        .f64("epoch_factor", opts.epoch_factor)
+        .str("trace", &obs::trace_target_description())
+        .emit();
+
+    let mut report = ReproReport {
+        scale: format!("{:?}", opts.scale),
+        seed: opts.seed,
+        epoch_factor: opts.epoch_factor,
+        experiments: Vec::new(),
+        methods: Vec::new(),
+    };
+
+    for name in names {
+        obs::event("repro.experiment_start").str("name", name).emit();
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(name, opts, &ks)));
+        let secs = start.elapsed().as_secs_f64();
+        match outcome {
+            Ok((rendered, records)) => {
+                print!("{rendered}");
+                report.methods.extend(records);
+                report.experiments.push(ExperimentOutcome {
+                    name: name.to_string(),
+                    secs,
+                    status: "ok".to_string(),
+                    error: None,
+                });
+                obs::event("repro.experiment")
+                    .str("name", name)
+                    .f64("secs", secs)
+                    .str("status", "ok")
+                    .emit();
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                report.experiments.push(ExperimentOutcome {
+                    name: name.to_string(),
+                    secs,
+                    status: "panicked".to_string(),
+                    error: Some(msg.clone()),
+                });
+                obs::event("repro.experiment")
+                    .str("name", name)
+                    .f64("secs", secs)
+                    .str("status", "panicked")
+                    .str("error", &msg)
+                    .emit();
+            }
         }
-    } else {
-        run(&command, opts, &ks);
     }
+
+    // Pool counters are normally snapshotted at scope exit only while
+    // tracing; force one final snapshot so the summary always carries
+    // steal/busy figures for the whole run.
+    runtime::global().record_stats();
+
+    eprint!("{}", experiment_summary(&report));
+    eprintln!("{}", obs::summary());
+
+    match report.write(&out_path) {
+        Ok(()) => eprintln!("# wrote {out_path}"),
+        Err(e) => {
+            eprintln!("# failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.any_failed() {
+        std::process::exit(1);
+    }
+}
+
+/// Runs one experiment, returning its rendered output and (for the
+/// comparison tables) the per-method records.
+fn run_experiment(name: &str, opts: RunOptions, ks: &[usize]) -> (String, Vec<MethodRecord>) {
+    let with_records = |r: tables::ComparisonResult| {
+        let records = r.records();
+        (r.render(), records)
+    };
+    match name {
+        "table1" => (tables::table1(opts), Vec::new()),
+        "table2" => with_records(tables::table2(opts)),
+        "table3" => with_records(tables::table3(opts)),
+        "table4" => with_records(tables::table4(opts)),
+        "table5" => (tables::table5(opts).render(), Vec::new()),
+        "fig2" => (figures::fig2(opts).render(), Vec::new()),
+        "fig3" => (figures::fig3(opts, ks).render(), Vec::new()),
+        "fig4" => (figures::fig4(opts).render(), Vec::new()),
+        "fig5" => (figures::fig5(opts).render(10), Vec::new()),
+        "ablate-delta" => (ablations::ablate_delta(opts).render(), Vec::new()),
+        "ablate-gamma" => (ablations::ablate_gamma(opts).render(), Vec::new()),
+        "ablate-alpha" => (ablations::ablate_alpha(opts).render(), Vec::new()),
+        "ablate-covariance" => (ablations::ablate_covariance(opts).render(), Vec::new()),
+        "ablate-birch-t" => (ablations::ablate_birch_threshold(opts).render(), Vec::new()),
+        other => unreachable!("unvalidated command {other}"),
+    }
+}
+
+/// End-of-run status table: one row per experiment plus any failed
+/// method cells.
+fn experiment_summary(report: &ReproReport) -> String {
+    let headers =
+        vec!["Experiment".to_string(), "Status".to_string(), "Secs".to_string()];
+    let mut rows: Vec<Vec<String>> = report
+        .experiments
+        .iter()
+        .map(|e| vec![e.name.clone(), e.status.clone(), format!("{:.2}", e.secs)])
+        .collect();
+    for m in report.methods.iter().filter(|m| m.status != "ok") {
+        rows.push(vec![
+            format!("{} · {} · {}", m.experiment, m.dataset, m.method),
+            m.status.clone(),
+            "-".to_string(),
+        ]);
+    }
+    render_table("repro run summary", &headers, &rows)
 }
 
 fn parse_or_exit<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
@@ -111,7 +227,7 @@ fn print_usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|table5|fig2|fig3|fig4|fig5|\
          ablate-delta|ablate-gamma|ablate-alpha|ablate-covariance|ablate-birch-t|all> \
-         [--full] [--seed N] [--epoch-factor F] [--ks a,b,c]"
+         [--full] [--seed N] [--epoch-factor F] [--ks a,b,c] [--out PATH]"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,84 @@
+//! `trace_check` — validates a JSON-lines trace produced by
+//! `TABLEDC_TRACE=<file>`.
+//!
+//! ```text
+//! cargo run -p bench --bin trace_check -- <trace-file> [required-event ...]
+//! ```
+//!
+//! Every non-empty line must parse as a JSON object with a finite,
+//! nonnegative numeric `ts_ms` and a non-empty string `event`. Any
+//! `required-event` names passed after the file must each appear at
+//! least once. Exits 0 on success, 1 on a malformed or incomplete
+//! trace, 2 on usage errors. Used by `results/verify.sh` so the trace
+//! contract is checked without any external JSON tooling.
+
+use std::collections::BTreeSet;
+
+use obs::json::{parse, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: trace_check <trace-file> [required-event ...]");
+        std::process::exit(2)
+    });
+    let required: Vec<String> = args.collect();
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut events = 0usize;
+    let mut last_ts = f64::NEG_INFINITY;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let value =
+            parse(line).unwrap_or_else(|e| fail(&format!("line {n}: invalid JSON: {e}")));
+        if !matches!(value, Json::Obj(_)) {
+            fail(&format!("line {n}: not a JSON object"));
+        }
+        let ts = value
+            .get("ts_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(&format!("line {n}: missing numeric ts_ms")));
+        if !ts.is_finite() || ts < 0.0 {
+            fail(&format!("line {n}: ts_ms = {ts} is not a finite nonnegative number"));
+        }
+        let event = value
+            .get("event")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("line {n}: missing string event")));
+        if event.is_empty() {
+            fail(&format!("line {n}: empty event name"));
+        }
+        last_ts = last_ts.max(ts);
+        seen.insert(event.to_string());
+        events += 1;
+    }
+
+    if events == 0 {
+        fail("trace contains no events");
+    }
+    for name in &required {
+        if !seen.contains(name) {
+            fail(&format!(
+                "required event {name:?} not found (saw: {})",
+                seen.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    println!(
+        "trace_check: {} events, {} distinct kinds, last ts_ms {:.1} — ok",
+        events,
+        seen.len(),
+        last_ts
+    );
+}

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use tabledc::{Covariance, Distance, Kernel, TableDc, TableDcConfig};
 
 use crate::methods::Method;
-use crate::report::{render_table, Scores};
+use crate::report::{panic_message, render_table, MethodRecord, Scores};
 
 use super::RunOptions;
 
@@ -42,8 +42,13 @@ pub struct ComparisonResult {
     pub columns: Vec<(Profile, EmbeddingModel)>,
     /// Methods in row order.
     pub methods: Vec<Method>,
-    /// `scores[row][col]`; `None` = not run (the paper's N/A entries).
+    /// `scores[row][col]`; `None` = the method did not finish (its run
+    /// panicked and was caught) — rendered as the paper's N/A entries.
     pub scores: Vec<Vec<Option<Scores>>>,
+    /// `times[row][col]` wall-clock seconds, `None` when the run panicked.
+    pub times: Vec<Vec<Option<f64>>>,
+    /// `errors[row][col]` panic message, `Some` only for panicked runs.
+    pub errors: Vec<Vec<Option<String>>>,
 }
 
 impl ComparisonResult {
@@ -81,6 +86,27 @@ impl ComparisonResult {
         let vals: Vec<f64> = self.scores[row].iter().flatten().map(|s| s.ari).collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     }
+
+    /// Flattens the grid into per-cell records for `BENCH_repro.json`.
+    pub fn records(&self) -> Vec<MethodRecord> {
+        let mut out = Vec::with_capacity(self.methods.len() * self.columns.len());
+        for (ri, &method) in self.methods.iter().enumerate() {
+            for (ci, (p, m)) in self.columns.iter().enumerate() {
+                let score = self.scores[ri][ci];
+                out.push(MethodRecord {
+                    experiment: self.title.clone(),
+                    dataset: format!("{}/{}", p.name(), m.name()),
+                    method: method.name().to_string(),
+                    status: if score.is_some() { "ok" } else { "panicked" }.to_string(),
+                    ari: score.map(|s| s.ari),
+                    acc: score.map(|s| s.acc),
+                    secs: self.times[ri][ci],
+                    error: self.errors[ri][ci].clone(),
+                });
+            }
+        }
+        out
+    }
 }
 
 /// Runs the method grid for one group of profiles.
@@ -97,16 +123,52 @@ fn comparison(
         }
     }
     let mut scores = vec![vec![None; columns.len()]; methods.len()];
+    let mut times = vec![vec![None; columns.len()]; methods.len()];
+    let mut errors = vec![vec![None; columns.len()]; methods.len()];
     for (ci, &(profile, model)) in columns.iter().enumerate() {
         let dataset = profile.dataset(model, opts.scale, opts.seed);
         let budget = opts.budget(profile.task());
         for (ri, &method) in methods.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(opts.seed ^ (ri as u64) << 32 ^ ci as u64);
-            let (labels, _) = method.run(&dataset.x, dataset.k, &budget, &mut rng);
-            scores[ri][ci] = Some(Scores::evaluate(&labels, &dataset.labels));
+            // Each method runs under `catch_unwind` so one panicking
+            // baseline degrades to an N/A cell instead of killing the
+            // whole table (and the `repro` sweep around it).
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut rng = StdRng::seed_from_u64(opts.seed ^ (ri as u64) << 32 ^ ci as u64);
+                method.run(&dataset.x, dataset.k, &budget, &mut rng)
+            }));
+            let mut event = obs::event("bench.method")
+                .str("experiment", title)
+                .str("dataset", profile.name())
+                .str("model", model.name())
+                .str("method", method.name());
+            match outcome {
+                Ok((labels, secs)) => {
+                    let s = Scores::evaluate(&labels, &dataset.labels);
+                    scores[ri][ci] = Some(s);
+                    times[ri][ci] = Some(secs);
+                    event = event
+                        .str("status", "ok")
+                        .f64("ari", s.ari)
+                        .f64("acc", s.acc)
+                        .f64("secs", secs);
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    event = event.str("status", "panicked").str("error", &msg);
+                    errors[ri][ci] = Some(msg);
+                }
+            }
+            event.emit();
         }
     }
-    ComparisonResult { title: title.to_string(), columns, methods: methods.to_vec(), scores }
+    ComparisonResult {
+        title: title.to_string(),
+        columns,
+        methods: methods.to_vec(),
+        scores,
+        times,
+        errors,
+    }
 }
 
 /// Table 2: schema inference (TUS, web tables).
@@ -265,5 +327,32 @@ mod tests {
         assert!(result.mean_ari(Method::Birch).is_finite());
         let rendered = result.render();
         assert!(rendered.contains("K-means"));
+        // Successful runs carry wall-clock seconds and flatten to "ok"
+        // records for BENCH_repro.json.
+        assert!(result.times[0][0].is_some_and(|t| t >= 0.0));
+        let records = result.records();
+        assert_eq!(records.len(), 2 * result.columns.len());
+        assert!(records.iter().all(|r| r.status == "ok" && r.error.is_none()));
+    }
+
+    #[test]
+    fn panicked_cells_render_na_and_record_the_error() {
+        let result = ComparisonResult {
+            title: "test".into(),
+            columns: vec![(Profile::WebTables, EmbeddingModel::Sbert)],
+            methods: vec![Method::KMeans, Method::Sdcn],
+            scores: vec![
+                vec![Some(Scores { ari: 0.5, acc: 0.6 })],
+                vec![None],
+            ],
+            times: vec![vec![Some(0.1)], vec![None]],
+            errors: vec![vec![None], vec![Some("index out of bounds".into())]],
+        };
+        assert!(result.render().contains("N/A"));
+        let records = result.records();
+        assert_eq!(records[0].status, "ok");
+        assert_eq!(records[1].status, "panicked");
+        assert_eq!(records[1].error.as_deref(), Some("index out of bounds"));
+        assert!(records[1].ari.is_none() && records[1].secs.is_none());
     }
 }

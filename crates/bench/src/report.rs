@@ -1,6 +1,8 @@
-//! Result containers and fixed-width table rendering for the harness.
+//! Result containers, fixed-width table rendering, and the
+//! machine-readable `BENCH_repro.json` report for the harness.
 
 use clustering::metrics::{accuracy, adjusted_rand_index};
+use obs::json::{escape_into, number_into};
 
 /// ARI + ACC of one labelling against ground truth (§4.2).
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +55,145 @@ pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> St
     out
 }
 
+/// One method × dataset×representation outcome, flattened for
+/// `BENCH_repro.json`. `status` is `"ok"` or `"panicked"`; scores and
+/// seconds are absent when the method did not finish.
+#[derive(Debug, Clone)]
+pub struct MethodRecord {
+    /// Experiment title (e.g. the table name).
+    pub experiment: String,
+    /// `profile/representation` column label.
+    pub dataset: String,
+    /// Method display name.
+    pub method: String,
+    /// `"ok"` or `"panicked"`.
+    pub status: String,
+    /// Adjusted Rand Index, when the method finished.
+    pub ari: Option<f64>,
+    /// Clustering accuracy, when the method finished.
+    pub acc: Option<f64>,
+    /// Wall-clock seconds of the method run.
+    pub secs: Option<f64>,
+    /// Panic message, when `status == "panicked"`.
+    pub error: Option<String>,
+}
+
+/// Outcome of one `repro` experiment (a whole table/figure/ablation).
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Command name (`table2`, `fig3`, …).
+    pub name: String,
+    /// Wall-clock seconds including dataset generation.
+    pub secs: f64,
+    /// `"ok"` or `"panicked"`.
+    pub status: String,
+    /// Panic message, when `status == "panicked"`.
+    pub error: Option<String>,
+}
+
+/// The machine-readable run report the `repro` binary always writes,
+/// even when individual methods or experiments panic.
+#[derive(Debug, Clone, Default)]
+pub struct ReproReport {
+    /// Dataset scale (`"Scaled"` or `"Paper"`).
+    pub scale: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Epoch multiplier.
+    pub epoch_factor: f64,
+    /// One entry per experiment run.
+    pub experiments: Vec<ExperimentOutcome>,
+    /// One entry per method × dataset cell of the comparison tables.
+    pub methods: Vec<MethodRecord>,
+}
+
+fn json_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => number_into(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn json_opt_str(out: &mut String, v: &Option<String>) {
+    match v {
+        Some(s) => escape_into(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+impl ReproReport {
+    /// True when any experiment or any method run panicked.
+    pub fn any_failed(&self) -> bool {
+        self.experiments.iter().any(|e| e.status != "ok")
+            || self.methods.iter().any(|m| m.status != "ok")
+    }
+
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"scale\":");
+        escape_into(&mut out, &self.scale);
+        out.push_str(&format!(",\"seed\":{},\"epoch_factor\":", self.seed));
+        number_into(&mut out, self.epoch_factor);
+        out.push_str(",\"experiments\":[");
+        for (i, e) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            escape_into(&mut out, &e.name);
+            out.push_str(",\"secs\":");
+            number_into(&mut out, e.secs);
+            out.push_str(",\"status\":");
+            escape_into(&mut out, &e.status);
+            out.push_str(",\"error\":");
+            json_opt_str(&mut out, &e.error);
+            out.push('}');
+        }
+        out.push_str("],\"methods\":[");
+        for (i, m) in self.methods.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"experiment\":");
+            escape_into(&mut out, &m.experiment);
+            out.push_str(",\"dataset\":");
+            escape_into(&mut out, &m.dataset);
+            out.push_str(",\"method\":");
+            escape_into(&mut out, &m.method);
+            out.push_str(",\"status\":");
+            escape_into(&mut out, &m.status);
+            out.push_str(",\"ari\":");
+            json_opt_f64(&mut out, m.ari);
+            out.push_str(",\"acc\":");
+            json_opt_f64(&mut out, m.acc);
+            out.push_str(",\"secs\":");
+            json_opt_f64(&mut out, m.secs);
+            out.push_str(",\"error\":");
+            json_opt_str(&mut out, &m.error);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes `to_json` (plus a trailing newline) to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +205,66 @@ mod tests {
         assert!((s.acc - 1.0).abs() < 1e-12);
         let m = Scores::evaluate(&[0, 1, 0, 1], &[0, 0, 1, 1]);
         assert!(m.ari < 0.5);
+    }
+
+    #[test]
+    fn repro_report_json_round_trips() {
+        let report = ReproReport {
+            scale: "Scaled".into(),
+            seed: 42,
+            epoch_factor: 1.0,
+            experiments: vec![ExperimentOutcome {
+                name: "table2".into(),
+                secs: 1.5,
+                status: "ok".into(),
+                error: None,
+            }],
+            methods: vec![
+                MethodRecord {
+                    experiment: "table2".into(),
+                    dataset: "tus/sbert".into(),
+                    method: "K-means".into(),
+                    status: "ok".into(),
+                    ari: Some(0.75),
+                    acc: Some(0.8),
+                    secs: Some(0.01),
+                    error: None,
+                },
+                MethodRecord {
+                    experiment: "table2".into(),
+                    dataset: "tus/sbert".into(),
+                    method: "SDCN".into(),
+                    status: "panicked".into(),
+                    ari: None,
+                    acc: None,
+                    secs: None,
+                    error: Some("boom \"quoted\"".into()),
+                },
+            ],
+        };
+        assert!(report.any_failed());
+        let parsed = obs::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("scale").and_then(|v| v.as_str()), Some("Scaled"));
+        assert_eq!(parsed.get("seed").and_then(|v| v.as_f64()), Some(42.0));
+        let methods = match parsed.get("methods") {
+            Some(obs::json::Json::Arr(a)) => a,
+            other => panic!("methods not an array: {other:?}"),
+        };
+        assert_eq!(methods.len(), 2);
+        assert_eq!(methods[0].get("ari").and_then(|v| v.as_f64()), Some(0.75));
+        assert_eq!(
+            methods[1].get("error").and_then(|v| v.as_str()),
+            Some("boom \"quoted\"")
+        );
+        assert!(matches!(methods[1].get("ari"), Some(obs::json::Json::Null)));
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let p = std::panic::catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static message");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
     }
 
     #[test]

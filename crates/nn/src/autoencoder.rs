@@ -136,7 +136,9 @@ impl Autoencoder {
         let batch_size = batch_size.clamp(1, n.max(1));
         let mut adam = Adam::new(lr);
         let mut trace = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
+        let pretrain_hist = obs::registry().histogram("ae.pretrain_epoch_ms");
+        for epoch in 0..epochs {
+            let epoch_start = std::time::Instant::now();
             let order = tensor::random::permutation(n, rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -161,7 +163,15 @@ impl Autoencoder {
                 let grads = tape.backward(loss);
                 adam.step_from_tape(params, &bound, &grads);
             }
-            trace.push(epoch_loss / batches.max(1) as f64);
+            let mean_loss = epoch_loss / batches.max(1) as f64;
+            trace.push(mean_loss);
+            let epoch_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
+            pretrain_hist.record(epoch_ms);
+            obs::event("ae.pretrain_epoch")
+                .u64("epoch", epoch as u64)
+                .f64("loss", mean_loss)
+                .f64("epoch_ms", epoch_ms)
+                .emit();
         }
         trace
     }

@@ -1,0 +1,115 @@
+//! # obs — std-only structured observability for the TableDC stack
+//!
+//! Three cooperating pieces, all built on `std` (the build environment has
+//! no registry access):
+//!
+//! * **Metrics registry** ([`registry`]): process-wide named [`Counter`]s,
+//!   [`Gauge`]s, and log-bucketed [`Histogram`]s with p50/p95/p99 readout.
+//!   The registry always records — it is a handful of atomic ops or a short
+//!   mutex-protected bucket increment, cheap enough for per-iteration use.
+//! * **Span timers** ([`span`]/[`span!`]): RAII wall-clock timers on the
+//!   monotonic clock; on drop the elapsed milliseconds land in the
+//!   histogram named after the span.
+//! * **Event sink** ([`event`]): structured JSON-lines emission controlled
+//!   by the `TABLEDC_TRACE` environment variable. Unset ⇒ disabled, and
+//!   every [`event`] call collapses to one relaxed atomic load (no
+//!   allocation, no formatting). `TABLEDC_TRACE=stderr` writes to stderr;
+//!   any other value is treated as a file path (created/truncated).
+//!
+//! [`summary`] renders the registry as a human-readable end-of-run table.
+//!
+//! ## Determinism
+//!
+//! Nothing in this crate participates in numeric computation: timers and
+//! counters observe, they never feed back into kernels or reduction trees.
+//! Tracing on/off therefore cannot perturb the bit-identical parallel
+//! guarantees of the `runtime` crate (asserted by tests there).
+
+pub mod hist;
+pub mod json;
+mod registry;
+mod sink;
+mod span;
+
+pub use hist::Histogram;
+pub use registry::{registry, Counter, Gauge, Hist, Registry, Snapshot};
+pub use sink::{enabled, event, test_support, trace_target_description, Event, TRACE_ENV};
+pub use span::{span, Span};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Milliseconds since the process's first observability call — the
+/// monotonic timestamp stamped on every emitted event (`ts_ms`).
+pub fn now_ms() -> f64 {
+    START.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+
+/// Renders the current registry contents as a fixed-width, human-readable
+/// summary table: counters, gauges, then histograms with count / p50 / p95
+/// / p99 / max columns. Histograms named `*_ms` hold milliseconds.
+pub fn summary() -> String {
+    let snap = registry().snapshot();
+    let mut out = String::from("\n== observability summary ==\n");
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<34} {v:>14}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<34} {v:>14.3}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!(
+            "histograms:\n  {:<26} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "count", "p50", "p95", "p99", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {:<26} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                name,
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ms_is_monotone_nonnegative() {
+        let a = now_ms();
+        let b = now_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn summary_lists_recorded_metrics() {
+        registry().counter("test.summary_counter").add(3);
+        registry().gauge("test.summary_gauge").set(1.5);
+        registry().histogram("test.summary_ms").record(2.0);
+        let s = summary();
+        assert!(s.contains("test.summary_counter"));
+        assert!(s.contains("test.summary_gauge"));
+        assert!(s.contains("test.summary_ms"));
+        assert!(s.contains("p95"));
+    }
+}

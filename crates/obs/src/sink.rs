@@ -1,0 +1,265 @@
+//! The JSON-lines event sink, controlled by the `TABLEDC_TRACE`
+//! environment variable (read once, on first use):
+//!
+//! * unset or empty — disabled; [`event`] is a no-op costing one atomic
+//!   load, no allocation;
+//! * `stderr` — one JSON object per line on standard error;
+//! * anything else — treated as a file path, created/truncated, flushed
+//!   per line.
+//!
+//! Every event line is a flat JSON object with at least `ts_ms` (f64
+//! milliseconds on the process-local monotonic clock) and `event` (the
+//! event name); remaining keys are event-specific fields.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::json;
+
+/// Name of the environment variable selecting the trace sink.
+pub const TRACE_ENV: &str = "TABLEDC_TRACE";
+
+enum SinkState {
+    Disabled,
+    Stderr,
+    File(BufWriter<File>),
+    /// Test-only in-memory capture (installed via [`test_support`]).
+    Memory(Vec<String>),
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<SinkState> {
+    SINK.get_or_init(|| {
+        let state = state_from_env();
+        ENABLED.store(!matches!(state, SinkState::Disabled), Ordering::Release);
+        Mutex::new(state)
+    })
+}
+
+fn state_from_env() -> SinkState {
+    match std::env::var(TRACE_ENV) {
+        Err(_) => SinkState::Disabled,
+        Ok(v) if v.trim().is_empty() => SinkState::Disabled,
+        Ok(v) if v.trim() == "stderr" => SinkState::Stderr,
+        Ok(path) => match File::create(path.trim()) {
+            Ok(f) => SinkState::File(BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("obs: cannot open {TRACE_ENV} target {path:?}: {e}; tracing disabled");
+                SinkState::Disabled
+            }
+        },
+    }
+}
+
+/// True when a trace sink is active and [`event`] calls will emit.
+#[inline]
+pub fn enabled() -> bool {
+    let _ = sink(); // ensure the env var has been read once
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Human-readable description of where trace events go.
+pub fn trace_target_description() -> String {
+    match &*lock(sink()) {
+        SinkState::Disabled => "disabled".to_string(),
+        SinkState::Stderr => "stderr".to_string(),
+        SinkState::File(_) => format!("file ({})", std::env::var(TRACE_ENV).unwrap_or_default()),
+        SinkState::Memory(_) => "memory (test)".to_string(),
+    }
+}
+
+fn write_line(line: &str) {
+    match &mut *lock(sink()) {
+        SinkState::Disabled => {}
+        SinkState::Stderr => eprintln!("{line}"),
+        SinkState::File(w) => {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        SinkState::Memory(captured) => captured.push(line.to_string()),
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An in-flight event. Obtained from [`event`]; fields are appended with
+/// the typed builder methods and nothing is written until [`Event::emit`].
+/// When tracing is disabled the builder holds no buffer and every call is
+/// a no-op.
+#[must_use = "call .emit() to write the event"]
+pub struct Event {
+    buf: Option<String>,
+}
+
+/// Starts building the event named `name`. Cheap no-op when tracing is
+/// disabled.
+pub fn event(name: &str) -> Event {
+    if !enabled() {
+        return Event { buf: None };
+    }
+    let mut buf = String::with_capacity(96);
+    buf.push_str("{\"ts_ms\":");
+    json::number_into(&mut buf, crate::now_ms());
+    buf.push_str(",\"event\":");
+    json::escape_into(&mut buf, name);
+    Event { buf: Some(buf) }
+}
+
+impl Event {
+    fn push_key(&mut self, key: &str) -> bool {
+        match self.buf.as_mut() {
+            None => false,
+            Some(buf) => {
+                buf.push(',');
+                json::escape_into(buf, key);
+                buf.push(':');
+                true
+            }
+        }
+    }
+
+    /// Adds an `f64` field (non-finite values serialize as `null`).
+    pub fn f64(mut self, key: &str, v: f64) -> Self {
+        if self.push_key(key) {
+            json::number_into(self.buf.as_mut().expect("buffer present"), v);
+        }
+        self
+    }
+
+    /// Adds a `u64` field.
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        if self.push_key(key) {
+            let _ = write!(self.buf.as_mut().expect("buffer present"), "{v}");
+        }
+        self
+    }
+
+    /// Adds an `i64` field.
+    pub fn i64(mut self, key: &str, v: i64) -> Self {
+        if self.push_key(key) {
+            let _ = write!(self.buf.as_mut().expect("buffer present"), "{v}");
+        }
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        if self.push_key(key) {
+            json::escape_into(self.buf.as_mut().expect("buffer present"), v);
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        if self.push_key(key) {
+            self.buf.as_mut().expect("buffer present").push_str(if v { "true" } else { "false" });
+        }
+        self
+    }
+
+    /// Writes the event as one JSON line (no-op when tracing is disabled).
+    pub fn emit(self) {
+        if let Some(mut buf) = self.buf {
+            buf.push('}');
+            write_line(&buf);
+        }
+    }
+}
+
+/// Deterministic sink control for tests.
+///
+/// All helpers serialize on one process-wide lock so tests that install a
+/// memory sink and tests that assert "no events" cannot race each other
+/// within a test binary.
+pub mod test_support {
+    use super::*;
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn set_state(state: SinkState) {
+        let enabled = !matches!(state, SinkState::Disabled);
+        *lock(sink()) = state;
+        ENABLED.store(enabled, Ordering::Release);
+    }
+
+    /// Runs `f` with an in-memory sink installed (tracing *enabled*),
+    /// returning `f`'s result and the captured JSON lines. The sink is
+    /// restored to disabled afterwards.
+    pub fn with_memory_sink<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+        let _guard = lock(&TEST_LOCK);
+        set_state(SinkState::Memory(Vec::new()));
+        let result = f();
+        let lines = match std::mem::replace(&mut *lock(sink()), SinkState::Disabled) {
+            SinkState::Memory(captured) => captured,
+            _ => Vec::new(),
+        };
+        ENABLED.store(false, Ordering::Release);
+        (result, lines)
+    }
+
+    /// Runs `f` with the sink forced off, regardless of `TABLEDC_TRACE`.
+    pub fn with_sink_disabled<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = lock(&TEST_LOCK);
+        set_state(SinkState::Disabled);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn disabled_sink_emits_nothing_and_builder_is_inert() {
+        let lines = test_support::with_sink_disabled(|| {
+            assert!(!enabled());
+            event("x").f64("a", 1.0).str("b", "y").emit();
+        });
+        let _ = lines;
+    }
+
+    #[test]
+    fn memory_sink_captures_valid_json_lines() {
+        let ((), lines) = test_support::with_memory_sink(|| {
+            assert!(enabled());
+            event("unit.test")
+                .u64("n", 3)
+                .i64("neg", -4)
+                .f64("x", 1.5)
+                .f64("bad", f64::NAN)
+                .str("s", "he\"llo\n")
+                .bool("flag", true)
+                .emit();
+        });
+        assert_eq!(lines.len(), 1);
+        let v = parse(&lines[0]).expect("valid JSON");
+        assert_eq!(v.get("event").unwrap().as_str(), Some("unit.test"));
+        assert!(v.get("ts_ms").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-4.0));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("bad").unwrap(), &crate::json::Json::Null);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("he\"llo\n"));
+        assert_eq!(v.get("flag").unwrap(), &crate::json::Json::Bool(true));
+    }
+
+    #[test]
+    fn events_outside_memory_scope_are_not_captured() {
+        let ((), first) = test_support::with_memory_sink(|| {
+            event("inside").emit();
+        });
+        event("outside").emit(); // sink restored to disabled
+        let ((), second) = test_support::with_memory_sink(|| {});
+        assert_eq!(first.len(), 1);
+        assert!(second.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! RAII wall-clock span timers on the monotonic clock.
+
+use std::time::Instant;
+
+/// A running span. On drop, the elapsed milliseconds are recorded into the
+/// registry histogram named after the span.
+#[must_use = "bind to a variable; dropping immediately times nothing"]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+/// Starts a span named `name`. Prefer the [`span!`](crate::span!) macro in
+/// instrumented code for grep-ability.
+pub fn span(name: impl Into<String>) -> Span {
+    Span { name: name.into(), start: Instant::now() }
+}
+
+impl Span {
+    /// Milliseconds elapsed so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// The histogram name this span records into.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        crate::registry().histogram(&self.name).record(self.elapsed_ms());
+    }
+}
+
+/// Starts an RAII span timer: `let _t = obs::span!("kmeans.fit_ms");`.
+/// The elapsed time lands in the histogram of the same name when the
+/// binding drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_ms_into_named_histogram() {
+        {
+            let s = span("test.span_ms");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(s.elapsed_ms() >= 1.0);
+            assert_eq!(s.name(), "test.span_ms");
+        }
+        let h = crate::registry().histogram("test.span_ms").snapshot();
+        assert!(h.count() >= 1);
+        assert!(h.max() >= 1.0, "max = {}", h.max());
+    }
+
+    #[test]
+    fn span_macro_expands_to_a_span() {
+        let _t = crate::span!("test.macro_span_ms");
+    }
+}

@@ -86,6 +86,54 @@ mod tests {
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
     }
+
+    /// Instrumentation is outside the reduction trees, so enabling the
+    /// trace sink must not change a single output bit for any thread
+    /// count — the determinism contract survives observability.
+    #[test]
+    fn tracing_on_is_bit_identical_and_publishes_pool_gauges() {
+        let values: Vec<f64> = (0..1553).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let reduce = |pool: &ThreadPool| {
+            par_reduce(pool, values.len(), 29, |r| r.map(|i| values[i]).sum::<f64>(), |a, b| {
+                a + b
+            })
+            .unwrap()
+        };
+        let untraced = obs::test_support::with_sink_disabled(|| reduce(&ThreadPool::new(1)));
+        let (traced, _lines) = obs::test_support::with_memory_sink(|| {
+            [1usize, 2, 4, 8].map(|threads| reduce(&ThreadPool::new(threads)))
+        });
+        for (threads, got) in [1usize, 2, 4, 8].into_iter().zip(traced) {
+            assert!(
+                got.to_bits() == untraced.to_bits(),
+                "threads={threads}: {got} != {untraced}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_stats_publishes_gauges() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        // The sink-control lock also serializes against the traced test
+        // above, whose scope exits write the same pool.* gauges.
+        let (threads, tasks, ratio) = obs::test_support::with_sink_disabled(|| {
+            pool.record_stats();
+            let registry = obs::registry();
+            (
+                registry.gauge("pool.threads").get(),
+                registry.gauge("pool.tasks_executed").get(),
+                registry.gauge("pool.steal_ratio").get(),
+            )
+        });
+        assert_eq!(threads, 2.0);
+        assert!(tasks >= 8.0);
+        assert!(ratio >= 0.0);
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,26 @@ impl ThreadPool {
         self.threads == 1
     }
 
+    /// Publishes this pool's lifetime counters into the [`obs`] registry as
+    /// `pool.*` gauges (threads, tasks executed, steals, busy milliseconds,
+    /// and the derived steal ratio), so they appear in [`obs::summary`].
+    /// Called automatically at every scope exit while tracing is enabled;
+    /// call it directly before rendering a summary in untraced runs.
+    pub fn record_stats(&self) {
+        let stats = self.stats();
+        let registry = obs::registry();
+        registry.gauge("pool.threads").set(stats.threads as f64);
+        registry.gauge("pool.tasks_executed").set(stats.tasks_executed as f64);
+        registry.gauge("pool.steals").set(stats.steals as f64);
+        registry.gauge("pool.busy_ms").set(stats.busy.as_secs_f64() * 1e3);
+        let steal_ratio = if stats.tasks_executed > 0 {
+            stats.steals as f64 / stats.tasks_executed as f64
+        } else {
+            0.0
+        };
+        registry.gauge("pool.steal_ratio").set(steal_ratio);
+    }
+
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> PoolStats {
         let c = &self.shared.counters;
@@ -236,6 +256,13 @@ impl ThreadPool {
         };
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.wait(&scope.latch);
+        // Publish pool counters while a trace sink is active, so the
+        // end-of-run summary always reflects the last completed scope.
+        // Outside the reduction trees and after the latch has drained, so
+        // it cannot perturb task scheduling or numeric results.
+        if obs::enabled() {
+            self.record_stats();
+        }
         let task_panicked = scope.latch.panicked.swap(false, Ordering::AcqRel);
         match result {
             Err(payload) => resume_unwind(payload),

@@ -83,6 +83,10 @@ pub struct History {
     /// Reported divergence `KL(p‖q)` per epoch (the quantity plotted in
     /// Figure 5's right panel).
     pub kl_pq: Vec<f64>,
+    /// Wall-clock milliseconds per joint-training epoch. Always recorded
+    /// (a monotonic-clock read per epoch), independent of whether the
+    /// `TABLEDC_TRACE` event sink is active.
+    pub epoch_ms: Vec<f64>,
 }
 
 /// A fitted TableDC model.
@@ -115,6 +119,7 @@ impl TableDc {
     /// # Panics
     /// Panics if `k` is 0 or exceeds the number of rows.
     pub fn fit(config: TableDcConfig, x: &Matrix, rng: &mut StdRng) -> (TableDc, TableDcFit) {
+        let _fit_timer = obs::span!("tabledc.fit_ms");
         assert!(config.k >= 1, "TableDC: k must be >= 1");
         assert!(config.k <= x.rows(), "TableDC: k = {} > n = {}", config.k, x.rows());
 
@@ -156,16 +161,26 @@ impl TableDc {
         rng: &mut StdRng,
     ) -> (TableDc, TableDcFit) {
         assert!(restarts >= 1, "fit_best_of: need at least one restart");
-        let mut best: Option<(f64, TableDc, TableDcFit)> = None;
-        for _ in 0..restarts {
+        let mut best: Option<(f64, usize, TableDc, TableDcFit)> = None;
+        for restart in 0..restarts {
             let (model, fit) = TableDc::fit(config.clone(), x, rng);
             let z = model.embed(x);
             let score = clustering::internal::silhouette_score(&z, &fit.labels);
-            if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
-                best = Some((score, model, fit));
+            obs::event("tabledc.restart")
+                .u64("restart", restart as u64)
+                .f64("silhouette", score)
+                .u64("clusters_used", fit.clusters_used as u64)
+                .emit();
+            if best.as_ref().is_none_or(|(b, _, _, _)| score > *b) {
+                best = Some((score, restart, model, fit));
             }
         }
-        let (_, model, fit) = best.expect("at least one restart ran");
+        let (score, winner, model, fit) = best.expect("at least one restart ran");
+        obs::event("tabledc.restart_winner")
+            .u64("restart", winner as u64)
+            .u64("restarts", restarts as u64)
+            .f64("silhouette", score)
+            .emit();
         (model, fit)
     }
 
@@ -176,8 +191,11 @@ impl TableDc {
         let mut history = History::default();
         let mut final_q = Matrix::zeros(x.rows(), cfg.k);
         let mut final_m = Matrix::zeros(x.rows(), cfg.k);
+        let mut prev_labels: Option<Vec<usize>> = None;
+        let epoch_hist = obs::registry().histogram("tabledc.epoch_ms");
 
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             let tape = Tape::new();
             let bound = self.params.bind(&tape);
             let xv = tape.constant(x.clone());
@@ -212,13 +230,41 @@ impl TableDc {
             let re = mse(&tape, xv, recon);
             let loss = tape.add(tape.scale(ce, cfg.alpha), re);
 
-            history.ce_loss.push(tape.value(ce)[(0, 0)]);
-            history.re_loss.push(tape.value(re)[(0, 0)]);
-            history.kl_pq.push(kl_div_value(&p, &q_val));
+            let ce_val = tape.value(ce)[(0, 0)];
+            let re_val = tape.value(re)[(0, 0)];
+            let kl_pq_val = kl_div_value(&p, &q_val);
+            history.ce_loss.push(ce_val);
+            history.re_loss.push(re_val);
+            history.kl_pq.push(kl_pq_val);
 
             // Line 11: backprop and update.
             let grads = tape.backward(loss);
             adam.step_from_tape(&mut self.params, &bound, &grads);
+
+            // Per-epoch telemetry: the convergence signal behind Figure 5
+            // plus the delta-label fraction DEC-style methods stop on.
+            // Pure observation — nothing here feeds back into training.
+            let labels_now = q_val.argmax_rows();
+            let delta_label_frac = match &prev_labels {
+                Some(prev) => {
+                    let changed = prev.iter().zip(&labels_now).filter(|(a, b)| a != b).count();
+                    changed as f64 / labels_now.len().max(1) as f64
+                }
+                None => 1.0,
+            };
+            prev_labels = Some(labels_now);
+
+            let epoch_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
+            history.epoch_ms.push(epoch_ms);
+            epoch_hist.record(epoch_ms);
+            obs::event("tabledc.epoch")
+                .u64("epoch", epoch as u64)
+                .f64("re_loss", re_val)
+                .f64("ce_loss", ce_val)
+                .f64("kl_pq", kl_pq_val)
+                .f64("delta_label_frac", delta_label_frac)
+                .f64("epoch_ms", epoch_ms)
+                .emit();
 
             final_q = q_val;
             final_m = tape.value(m);
@@ -436,6 +482,81 @@ mod tests {
         assert_eq!(fit.history.re_loss.len(), epochs);
         assert_eq!(fit.history.ce_loss.len(), epochs);
         assert_eq!(fit.history.kl_pq.len(), epochs);
+        assert_eq!(fit.history.epoch_ms.len(), epochs);
+    }
+
+    #[test]
+    fn untraced_fit_emits_no_events_but_still_times_epochs() {
+        let (x, _) = workload(15);
+        let cfg = small_config(4);
+        let epochs = cfg.epochs;
+        let fit = obs::test_support::with_sink_disabled(|| {
+            assert!(!obs::enabled());
+            let (_, fit) = TableDc::fit(cfg, &x, &mut rng(16));
+            fit
+        });
+        assert_eq!(fit.history.epoch_ms.len(), epochs);
+        assert!(
+            fit.history.epoch_ms.iter().all(|&ms| ms >= 0.0 && ms.is_finite()),
+            "epoch timings must be finite and nonnegative"
+        );
+        // Cumulative epoch time is monotone nonnegative by construction.
+        let mut cumulative = 0.0;
+        for &ms in &fit.history.epoch_ms {
+            let next = cumulative + ms;
+            assert!(next >= cumulative);
+            cumulative = next;
+        }
+    }
+
+    #[test]
+    fn tracing_on_does_not_perturb_training() {
+        let (x, _) = workload(17);
+        let untraced =
+            obs::test_support::with_sink_disabled(|| TableDc::fit(small_config(4), &x, &mut rng(18)));
+        let (traced, lines) = obs::test_support::with_memory_sink(|| {
+            TableDc::fit(small_config(4), &x, &mut rng(18))
+        });
+        assert_eq!(untraced.1.labels, traced.1.labels);
+        assert_eq!(untraced.1.history.re_loss, traced.1.history.re_loss);
+        assert_eq!(untraced.1.history.kl_pq, traced.1.history.kl_pq);
+        // Every epoch produced a parseable event with the documented keys.
+        let epoch_lines: Vec<&String> =
+            lines.iter().filter(|l| l.contains("\"tabledc.epoch\"")).collect();
+        assert_eq!(epoch_lines.len(), traced.1.history.re_loss.len());
+        for line in epoch_lines {
+            let v = obs::json::parse(line).expect("valid JSON line");
+            for key in ["ts_ms", "epoch", "re_loss", "ce_loss", "kl_pq", "delta_label_frac", "epoch_ms"] {
+                assert!(v.get(key).is_some(), "missing {key} in {line}");
+            }
+            let delta = v.get("delta_label_frac").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&delta));
+        }
+    }
+
+    #[test]
+    fn fit_best_of_logs_each_restart_and_the_winner() {
+        let (x, _) = workload(19);
+        let cfg = TableDcConfig { pretrain_epochs: 3, epochs: 5, ..small_config(4) };
+        let (_, lines) = obs::test_support::with_memory_sink(|| {
+            TableDc::fit_best_of(cfg, &x, 3, &mut rng(20))
+        });
+        let restarts: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"tabledc.restart\"")).collect();
+        assert_eq!(restarts.len(), 3, "one event per restart");
+        let winners: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"tabledc.restart_winner\"")).collect();
+        assert_eq!(winners.len(), 1);
+        let winner = obs::json::parse(winners[0]).expect("valid JSON");
+        let winner_idx = winner.get("restart").unwrap().as_f64().unwrap();
+        assert!((0.0..3.0).contains(&winner_idx));
+        // The winner's silhouette is the max of the per-restart scores.
+        let scores: Vec<f64> = restarts
+            .iter()
+            .map(|l| obs::json::parse(l).unwrap().get("silhouette").unwrap().as_f64().unwrap())
+            .collect();
+        let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(winner.get("silhouette").unwrap().as_f64().unwrap(), best);
     }
 
     #[test]

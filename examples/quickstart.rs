@@ -4,6 +4,10 @@
 //! ```sh
 //! cargo run --release -p bench --example quickstart
 //! ```
+//!
+//! With `TABLEDC_TRACE=stderr` (or a file path) the run also emits
+//! per-epoch JSON-lines events and ends with the observability summary
+//! table (epoch timing quantiles, pool steal/busy stats).
 
 use clustering::metrics::{accuracy, adjusted_rand_index};
 use clustering::KMeans;
@@ -54,4 +58,9 @@ fn main() {
     );
     let assigned = model.predict(&fresh.x);
     println!("predicted clusters for 10 new rows: {assigned:?}");
+
+    if obs::enabled() {
+        runtime::global().record_stats();
+        eprintln!("{}", obs::summary());
+    }
 }

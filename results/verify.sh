@@ -1,11 +1,15 @@
 #!/bin/bash
-# Tier-1 verification gate plus a serial-vs-parallel runtime smoke.
+# Tier-1 verification gate plus a serial-vs-parallel runtime smoke and a
+# traced-run observability smoke.
 #
 #   1. cargo build --release && cargo test -q   (the repo's tier-1 gate)
 #   2. par_smoke example: times sq_euclidean_cdist on a 2000x128 matrix on
 #      a 1-thread pool vs the full pool, asserts the outputs are
 #      bit-identical, and fails if the parallel run is >1.5x slower than
 #      serial.
+#   3. quickstart under TABLEDC_TRACE=<file>: the emitted trace must be
+#      valid JSON lines (checked by the trace_check binary) and contain
+#      the per-epoch training events.
 #
 # Usage: results/verify.sh   (from anywhere; cd's to the repo root)
 set -e
@@ -21,5 +25,12 @@ echo "== runtime smoke: serial vs parallel cdist =="
 # Exercise real multi-thread scheduling even on single-core CI boxes; the
 # example still applies its slowdown gate.
 TABLEDC_THREADS=${TABLEDC_THREADS:-4} cargo run --release -q -p bench --example par_smoke
+
+echo "== observability smoke: traced quickstart =="
+trace_file=$(mktemp /tmp/tabledc_trace.XXXXXX.jsonl)
+trap 'rm -f "$trace_file"' EXIT
+TABLEDC_TRACE="$trace_file" cargo run --release -q -p bench --example quickstart > /dev/null
+cargo run --release -q -p bench --bin trace_check -- "$trace_file" \
+    ae.pretrain_epoch tabledc.epoch
 
 echo "verify.sh: all gates passed"
