@@ -1,0 +1,94 @@
+//! `perfdiff` — compares two `BENCH_repro.json` reports and fails on
+//! performance regressions.
+//!
+//! ```text
+//! cargo run -p bench --bin perfdiff -- <baseline.json> <candidate.json>
+//!     [--tolerance R] [--min-secs S] [--min-ms M]
+//! ```
+//!
+//! Compares per-experiment and per-method wall seconds plus per-phase
+//! profile self-times (see [`bench::perfdiff`]). A candidate entry
+//! regresses when it exceeds `baseline × tolerance` **and** the absolute
+//! delta exceeds the floor (`--min-secs` for wall times, `--min-ms` for
+//! phases) — both gates together keep machine noise from flaking the CI
+//! gate while still catching real slowdowns.
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression detected,
+//! 2 = usage or I/O error. Used by `results/verify.sh` against the
+//! committed `results/BENCH_baseline.json`.
+
+use bench::perfdiff::{diff_files, Tolerance};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfdiff <baseline.json> <candidate.json> \
+         [--tolerance R] [--min-secs S] [--min-ms M]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tol.ratio = parse_flag(&args, i, "--tolerance");
+                if tol.ratio < 1.0 {
+                    eprintln!("error: --tolerance must be >= 1.0");
+                    usage();
+                }
+            }
+            "--min-secs" => {
+                i += 1;
+                tol.min_secs = parse_flag(&args, i, "--min-secs");
+            }
+            "--min-ms" => {
+                i += 1;
+                tol.min_ms = parse_flag(&args, i, "--min-ms");
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline, candidate] = paths.as_slice() else { usage() };
+
+    match diff_files(baseline, candidate, &tol) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.has_regressions() {
+                eprintln!(
+                    "perfdiff: FAIL — {} regression(s) beyond {}x (+{}s/+{}ms floors)",
+                    report.regressions.len(),
+                    tol.ratio,
+                    tol.min_secs,
+                    tol.min_ms
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perfdiff: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag(args: &[String], i: usize, flag: &str) -> f64 {
+    let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+        eprintln!("error: {flag} needs a numeric value");
+        usage();
+    };
+    if !v.is_finite() || v < 0.0 {
+        eprintln!("error: {flag} must be a finite nonnegative number");
+        usage();
+    }
+    v
+}

@@ -105,6 +105,7 @@ fn main() {
         epoch_factor: opts.epoch_factor,
         experiments: Vec::new(),
         methods: Vec::new(),
+        profile: Vec::new(),
     };
 
     for name in names {
@@ -150,9 +151,16 @@ fn main() {
     // tracing; force one final snapshot so the summary always carries
     // steal/busy figures for the whole run.
     runtime::global().record_stats();
+    // Fold the span tree into the report so perfdiff can compare
+    // per-phase self times across runs.
+    report.profile = bench::report::PhaseProfile::collect();
 
     eprint!("{}", experiment_summary(&report));
     eprintln!("{}", obs::summary());
+    eprintln!("{}", obs::profile::report());
+    if let Some(folded_path) = obs::profile::write_folded_if_requested() {
+        eprintln!("# wrote folded stacks to {folded_path}");
+    }
 
     match report.write(&out_path) {
         Ok(()) => eprintln!("# wrote {out_path}"),

@@ -5,14 +5,25 @@
 //! cargo run -p bench --bin trace_check -- <trace-file> [required-event ...]
 //! ```
 //!
-//! Every non-empty line must parse as a JSON object with a finite,
-//! nonnegative numeric `ts_ms` and a non-empty string `event`. Any
-//! `required-event` names passed after the file must each appear at
-//! least once. Exits 0 on success, 1 on a malformed or incomplete
-//! trace, 2 on usage errors. Used by `results/verify.sh` so the trace
-//! contract is checked without any external JSON tooling.
+//! Checks, in order of discovery per line:
+//!
+//! * every non-empty line parses as a JSON object with a finite,
+//!   nonnegative numeric `ts_ms` and a non-empty string `event`;
+//! * `ts_ms` is monotonically non-decreasing across the whole file —
+//!   timestamps are stamped under the sink lock, so any decrease means
+//!   the trace was corrupted or interleaved from two processes;
+//! * `span.enter`/`span.exit` events balance per thread: each carries a
+//!   `span` name and a `thread` id, exits must match the innermost open
+//!   enter on their thread, and every thread's stack must be empty at
+//!   end of file;
+//! * any `required-event` names passed after the file each appear at
+//!   least once.
+//!
+//! The first violation is reported with its line number and the process
+//! exits 1; usage errors exit 2. Used by `results/verify.sh` so the
+//! trace contract is checked without any external JSON tooling.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use obs::json::{parse, Json};
 
@@ -34,7 +45,11 @@ fn main() {
 
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut events = 0usize;
+    let mut spans = 0usize;
     let mut last_ts = f64::NEG_INFINITY;
+    let mut last_ts_line = 0usize;
+    // Per-thread stack of currently open span names.
+    let mut open: BTreeMap<u64, Vec<(String, usize)>> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -52,6 +67,13 @@ fn main() {
         if !ts.is_finite() || ts < 0.0 {
             fail(&format!("line {n}: ts_ms = {ts} is not a finite nonnegative number"));
         }
+        if ts < last_ts {
+            fail(&format!(
+                "line {n}: ts_ms went backwards ({ts} after {last_ts} on line {last_ts_line})"
+            ));
+        }
+        last_ts = ts;
+        last_ts_line = n;
         let event = value
             .get("event")
             .and_then(Json::as_str)
@@ -59,13 +81,48 @@ fn main() {
         if event.is_empty() {
             fail(&format!("line {n}: empty event name"));
         }
-        last_ts = last_ts.max(ts);
+        if event == "span.enter" || event == "span.exit" {
+            let span = value
+                .get("span")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail(&format!("line {n}: {event} without string span")));
+            let thread = value
+                .get("thread")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| fail(&format!("line {n}: {event} without numeric thread")))
+                as u64;
+            let stack = open.entry(thread).or_default();
+            if event == "span.enter" {
+                stack.push((span.to_string(), n));
+                spans += 1;
+            } else {
+                match stack.pop() {
+                    Some((top, _)) if top == span => {}
+                    Some((top, top_line)) => fail(&format!(
+                        "line {n}: span.exit {span:?} on thread {thread} but innermost open \
+                         span is {top:?} (entered line {top_line})"
+                    )),
+                    None => fail(&format!(
+                        "line {n}: span.exit {span:?} on thread {thread} with no open span"
+                    )),
+                }
+            }
+        }
         seen.insert(event.to_string());
         events += 1;
     }
 
     if events == 0 {
         fail("trace contains no events");
+    }
+    for (thread, stack) in &open {
+        if let Some((name, line)) = stack.last() {
+            fail(&format!(
+                "thread {thread}: span {name:?} entered on line {line} never exited \
+                 ({} open at end of trace)",
+                stack.len()
+            ));
+        }
     }
     for name in &required {
         if !seen.contains(name) {
@@ -76,8 +133,11 @@ fn main() {
         }
     }
     println!(
-        "trace_check: {} events, {} distinct kinds, last ts_ms {:.1} — ok",
+        "trace_check: {} events ({} spans balanced across {} threads), {} distinct kinds, \
+         ts_ms monotone through {:.1} — ok",
         events,
+        spans,
+        open.len(),
         seen.len(),
         last_ts
     );

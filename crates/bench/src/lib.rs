@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod methods;
+pub mod perfdiff;
 pub mod report;
 
 pub use experiments::RunOptions;

@@ -1,0 +1,336 @@
+//! Comparison of two `BENCH_repro.json` reports — the library behind the
+//! `perfdiff` binary and the perf-regression gate in `results/verify.sh`.
+//!
+//! Three sections of the report are compared, each keyed by name:
+//!
+//! * **experiments** — wall seconds per experiment (`status == "ok"` only);
+//! * **methods** — wall seconds per `experiment · dataset · method` cell;
+//! * **profile** — per-phase `self_ms` from the span tree.
+//!
+//! A candidate entry is a **regression** when it is both proportionally
+//! slower than baseline (`cand > base × ratio`) *and* slower by more than
+//! an absolute floor (`min_secs` / `min_ms`). The two-sided test keeps the
+//! gate honest: the ratio alone would flag microsecond-scale noise on
+//! near-zero phases, the floor alone would hide a 2× slowdown of a long
+//! phase. Entries present on only one side are reported informationally,
+//! never as regressions — experiments legitimately come and go between
+//! runs.
+
+use obs::json::{parse, Json};
+
+/// Regression thresholds. `Default` is deliberately generous (1.5× plus
+/// an absolute floor) so the gate catches order-of-magnitude regressions
+//  without flaking on machine noise.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Multiplicative slowdown that counts as a regression.
+    pub ratio: f64,
+    /// Absolute floor for experiment/method wall-time deltas, seconds.
+    pub min_secs: f64,
+    /// Absolute floor for per-phase self-time deltas, milliseconds.
+    pub min_ms: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self { ratio: 1.5, min_secs: 0.25, min_ms: 50.0 }
+    }
+}
+
+/// One compared entry that changed notably (either direction).
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Section the entry came from (`experiment`, `method`, `phase`).
+    pub section: &'static str,
+    /// Entry key (experiment name, method cell, or span name).
+    pub name: String,
+    /// Baseline value (secs or ms depending on section).
+    pub base: f64,
+    /// Candidate value.
+    pub cand: f64,
+}
+
+impl Delta {
+    /// `cand / base`, saturating when the baseline is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.base > 0.0 {
+            self.cand / self.base
+        } else if self.cand > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    fn render(&self, unit: &str) -> String {
+        format!(
+            "{} {:<40} {:>10.3}{unit} -> {:>10.3}{unit}  ({:.2}x)",
+            self.section,
+            self.name,
+            self.base,
+            self.cand,
+            self.ratio()
+        )
+    }
+}
+
+/// Outcome of comparing two reports.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Entries exceeding the tolerance — the gate fails when non-empty.
+    pub regressions: Vec<Delta>,
+    /// Entries faster than baseline by the same two-sided test
+    /// (informational).
+    pub improvements: Vec<Delta>,
+    /// Entries present on only one side, or sections absent entirely.
+    pub notes: Vec<String>,
+    /// Entries compared across all sections.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when the gate should fail.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("perfdiff: {} entries compared\n", self.compared));
+        if !self.regressions.is_empty() {
+            out.push_str("REGRESSIONS:\n");
+            for d in &self.regressions {
+                let unit = if d.section == "profile" { "ms" } else { "s" };
+                out.push_str(&format!("  {}\n", d.render(unit)));
+            }
+        }
+        if !self.improvements.is_empty() {
+            out.push_str("improvements:\n");
+            for d in &self.improvements {
+                let unit = if d.section == "profile" { "ms" } else { "s" };
+                out.push_str(&format!("  {}\n", d.render(unit)));
+            }
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        if self.regressions.is_empty() {
+            out.push_str("perfdiff: ok — no regressions beyond tolerance\n");
+        }
+        out
+    }
+}
+
+/// Named `(key, value)` rows extracted from one section of a report.
+fn section_rows(report: &Json, section: &str) -> Vec<(String, f64)> {
+    let Some(Json::Arr(items)) = report.get(section) else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for item in items {
+        // Methods/experiments carry a status; skip non-ok entries — their
+        // timings describe a failure path, not performance.
+        if let Some(status) = item.get("status").and_then(Json::as_str) {
+            if status != "ok" {
+                continue;
+            }
+        }
+        let key = match section {
+            "experiments" => item.get("name").and_then(Json::as_str).map(str::to_string),
+            "methods" => {
+                match (
+                    item.get("experiment").and_then(Json::as_str),
+                    item.get("dataset").and_then(Json::as_str),
+                    item.get("method").and_then(Json::as_str),
+                ) {
+                    (Some(e), Some(d), Some(m)) => Some(format!("{e} · {d} · {m}")),
+                    _ => None,
+                }
+            }
+            "profile" => item.get("name").and_then(Json::as_str).map(str::to_string),
+            _ => None,
+        };
+        let value = match section {
+            "profile" => item.get("self_ms").and_then(Json::as_f64),
+            _ => item.get("secs").and_then(Json::as_f64),
+        };
+        if let (Some(key), Some(value)) = (key, value) {
+            rows.push((key, value));
+        }
+    }
+    rows
+}
+
+fn compare_section(
+    out: &mut DiffReport,
+    section: &'static str,
+    base_rows: &[(String, f64)],
+    cand_rows: &[(String, f64)],
+    tol: &Tolerance,
+    floor: f64,
+) {
+    for (name, base) in base_rows {
+        let Some((_, cand)) =
+            cand_rows.iter().find(|(n, _)| n == name)
+        else {
+            out.notes.push(format!("{section} {name:?} missing from candidate"));
+            continue;
+        };
+        out.compared += 1;
+        let delta = Delta { section, name: name.clone(), base: *base, cand: *cand };
+        if *cand > base * tol.ratio && cand - base > floor {
+            out.regressions.push(delta);
+        } else if *base > cand * tol.ratio && base - cand > floor {
+            out.improvements.push(delta);
+        }
+    }
+    for (name, _) in cand_rows {
+        if !base_rows.iter().any(|(n, _)| n == name) {
+            out.notes.push(format!("{section} {name:?} new in candidate"));
+        }
+    }
+}
+
+/// Compares two parsed reports.
+pub fn diff(baseline: &Json, candidate: &Json, tol: &Tolerance) -> DiffReport {
+    let mut out = DiffReport::default();
+    let sections: [(&'static str, f64); 3] = [
+        ("experiments", tol.min_secs),
+        ("methods", tol.min_secs),
+        ("profile", tol.min_ms),
+    ];
+    for (section, floor) in sections {
+        let base_rows = section_rows(baseline, section);
+        let cand_rows = section_rows(candidate, section);
+        if base_rows.is_empty() && cand_rows.is_empty() {
+            out.notes.push(format!("section {section:?} empty on both sides"));
+            continue;
+        }
+        compare_section(&mut out, section, &base_rows, &cand_rows, tol, floor);
+    }
+    out
+}
+
+/// Reads and compares two report files. `Err` is a usage/parse failure
+/// (exit 2 territory), distinct from a regression verdict.
+pub fn diff_files(
+    baseline_path: &str,
+    candidate_path: &str,
+    tol: &Tolerance,
+) -> Result<DiffReport, String> {
+    let read = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse(text.trim()).map_err(|e| format!("{path}: invalid JSON: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let candidate = read(candidate_path)?;
+    if !matches!(baseline, Json::Obj(_)) || !matches!(candidate, Json::Obj(_)) {
+        return Err("reports must be JSON objects".to_string());
+    }
+    Ok(diff(&baseline, &candidate, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(table2_secs: f64, fit_self_ms: f64, kmeans_secs: f64) -> Json {
+        parse(&format!(
+            r#"{{"scale":"Scaled","seed":42,"epoch_factor":1.0,
+                "experiments":[
+                    {{"name":"table2","secs":{table2_secs},"status":"ok","error":null}},
+                    {{"name":"fig2","secs":3.0,"status":"panicked","error":"boom"}}],
+                "methods":[
+                    {{"experiment":"table2","dataset":"tus/sbert","method":"K-means",
+                      "status":"ok","ari":0.7,"acc":0.8,"secs":{kmeans_secs},"error":null}}],
+                "profile":[
+                    {{"name":"tabledc.fit","calls":4,"total_ms":900.0,
+                      "self_ms":{fit_self_ms},"alloc_bytes":0}}]}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let base = report(10.0, 400.0, 2.0);
+        let diffed = diff(&base, &base, &Tolerance::default());
+        assert!(!diffed.has_regressions(), "{:?}", diffed.regressions);
+        assert!(diffed.improvements.is_empty());
+        assert_eq!(diffed.compared, 3, "experiment + method + phase");
+    }
+
+    #[test]
+    fn doctored_regression_is_flagged() {
+        let base = report(10.0, 400.0, 2.0);
+        // 10x wall time on table2, 10x self time on tabledc.fit.
+        let doctored = report(100.0, 4000.0, 2.0);
+        let diffed = diff(&base, &doctored, &Tolerance::default());
+        assert!(diffed.has_regressions());
+        let names: Vec<&str> = diffed.regressions.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"table2"), "{names:?}");
+        assert!(names.contains(&"tabledc.fit"), "{names:?}");
+        let rendered = diffed.render();
+        assert!(rendered.contains("REGRESSIONS"));
+    }
+
+    #[test]
+    fn small_absolute_deltas_never_flag_even_at_large_ratios() {
+        // 10x ratio but only 90 ms absolute on the experiment (< min_secs)
+        // and 9 ms on the phase (< min_ms): noise, not regression.
+        let base = report(0.01, 1.0, 0.001);
+        let cand = report(0.1, 10.0, 0.01);
+        let diffed = diff(&base, &cand, &Tolerance::default());
+        assert!(!diffed.has_regressions(), "{:?}", diffed.regressions);
+    }
+
+    #[test]
+    fn large_ratio_threshold_tolerates_moderate_slowdown() {
+        let base = report(10.0, 400.0, 2.0);
+        let cand = report(13.0, 500.0, 2.5); // 1.3x — under the 1.5x gate
+        assert!(!diff(&base, &cand, &Tolerance::default()).has_regressions());
+        // A tighter tolerance flags the same delta.
+        let tight = Tolerance { ratio: 1.1, ..Tolerance::default() };
+        assert!(diff(&base, &cand, &tight).has_regressions());
+    }
+
+    #[test]
+    fn improvements_and_missing_entries_are_informational() {
+        let base = report(100.0, 4000.0, 20.0);
+        let faster = report(10.0, 400.0, 2.0);
+        let diffed = diff(&base, &faster, &Tolerance::default());
+        assert!(!diffed.has_regressions());
+        assert!(!diffed.improvements.is_empty());
+
+        // Baseline without a profile section (older report format).
+        let legacy = parse(
+            r#"{"scale":"Scaled","seed":42,"epoch_factor":1.0,
+                "experiments":[{"name":"table2","secs":10.0,"status":"ok","error":null}],
+                "methods":[]}"#,
+        )
+        .expect("legacy fixture parses");
+        let diffed = diff(&legacy, &faster, &Tolerance::default());
+        assert!(!diffed.has_regressions());
+        assert!(
+            diffed.notes.iter().any(|n| n.contains("new in candidate")),
+            "{:?}",
+            diffed.notes
+        );
+    }
+
+    #[test]
+    fn panicked_entries_are_excluded_from_comparison() {
+        // fig2 is "panicked" in the fixture; doctoring its secs must not
+        // trip the gate because failed runs carry no perf signal.
+        let base = report(10.0, 400.0, 2.0);
+        let diffed = diff(&base, &base, &Tolerance::default());
+        assert!(diffed.regressions.iter().all(|d| d.name != "fig2"));
+        assert!(diffed.improvements.iter().all(|d| d.name != "fig2"));
+    }
+
+    #[test]
+    fn diff_files_reports_io_and_parse_errors() {
+        let err = diff_files("/nonexistent/a.json", "/nonexistent/b.json", &Tolerance::default());
+        assert!(err.is_err());
+    }
+}

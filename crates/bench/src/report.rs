@@ -91,6 +91,39 @@ pub struct ExperimentOutcome {
     pub error: Option<String>,
 }
 
+/// Per-span-name profile aggregate carried in `BENCH_repro.json` — the
+/// rows `perfdiff` compares across runs.
+#[derive(Debug, Clone)]
+pub struct PhaseProfile {
+    /// Span name (`tabledc.fit`, `kmeans.assign`, …).
+    pub name: String,
+    /// Completed activations across the run.
+    pub calls: u64,
+    /// Summed wall milliseconds (nested same-name spans double count).
+    pub total_ms: f64,
+    /// Summed self milliseconds (disjoint across the span tree).
+    pub self_ms: f64,
+    /// Attributed allocation bytes (0 unless `TABLEDC_PROFILE=alloc`).
+    pub alloc_bytes: u64,
+}
+
+impl PhaseProfile {
+    /// Snapshot of the current process-wide span tree, one entry per span
+    /// name, sorted by name.
+    pub fn collect() -> Vec<PhaseProfile> {
+        obs::profile::aggregate()
+            .into_iter()
+            .map(|(name, t)| PhaseProfile {
+                name,
+                calls: t.calls,
+                total_ms: t.total_ms,
+                self_ms: t.self_ms,
+                alloc_bytes: t.alloc_bytes,
+            })
+            .collect()
+    }
+}
+
 /// The machine-readable run report the `repro` binary always writes,
 /// even when individual methods or experiments panic.
 #[derive(Debug, Clone, Default)]
@@ -105,6 +138,8 @@ pub struct ReproReport {
     pub experiments: Vec<ExperimentOutcome>,
     /// One entry per method × dataset cell of the comparison tables.
     pub methods: Vec<MethodRecord>,
+    /// Per-phase span-tree aggregates for the whole run.
+    pub profile: Vec<PhaseProfile>,
 }
 
 fn json_opt_f64(out: &mut String, v: Option<f64>) {
@@ -171,6 +206,20 @@ impl ReproReport {
             json_opt_f64(&mut out, m.secs);
             out.push_str(",\"error\":");
             json_opt_str(&mut out, &m.error);
+            out.push('}');
+        }
+        out.push_str("],\"profile\":[");
+        for (i, p) in self.profile.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            escape_into(&mut out, &p.name);
+            out.push_str(&format!(",\"calls\":{},\"total_ms\":", p.calls));
+            number_into(&mut out, p.total_ms);
+            out.push_str(",\"self_ms\":");
+            number_into(&mut out, p.self_ms);
+            out.push_str(&format!(",\"alloc_bytes\":{}", p.alloc_bytes));
             out.push('}');
         }
         out.push_str("]}");
@@ -241,6 +290,13 @@ mod tests {
                     error: Some("boom \"quoted\"".into()),
                 },
             ],
+            profile: vec![PhaseProfile {
+                name: "tabledc.fit".into(),
+                calls: 3,
+                total_ms: 120.5,
+                self_ms: 10.25,
+                alloc_bytes: 4096,
+            }],
         };
         assert!(report.any_failed());
         let parsed = obs::json::parse(&report.to_json()).expect("valid JSON");
@@ -257,6 +313,15 @@ mod tests {
             Some("boom \"quoted\"")
         );
         assert!(matches!(methods[1].get("ari"), Some(obs::json::Json::Null)));
+        let profile = match parsed.get("profile") {
+            Some(obs::json::Json::Arr(a)) => a,
+            other => panic!("profile not an array: {other:?}"),
+        };
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].get("name").and_then(|v| v.as_str()), Some("tabledc.fit"));
+        assert_eq!(profile[0].get("calls").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(profile[0].get("self_ms").and_then(|v| v.as_f64()), Some(10.25));
+        assert_eq!(profile[0].get("alloc_bytes").and_then(|v| v.as_f64()), Some(4096.0));
     }
 
     #[test]

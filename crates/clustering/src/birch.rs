@@ -275,6 +275,7 @@ impl Birch {
     pub fn fit(&self, x: &Matrix, rng: &mut StdRng) -> BirchResult {
         assert!(self.k > 0, "Birch: k must be positive");
         assert!(self.k <= x.rows(), "Birch: k = {} > n = {}", self.k, x.rows());
+        let _fit_timer = obs::span!("birch.fit");
         let mut t = self.threshold;
         loop {
             let subclusters = self.build_tree(x, t);
@@ -372,6 +373,7 @@ fn weighted_kmeans(
     rng: &mut StdRng,
 ) -> Vec<usize> {
     const RESTARTS: usize = 8;
+    let _timer = obs::span!("kmeans.weighted");
     let mut best: Option<(f64, Vec<usize>)> = None;
     for _ in 0..RESTARTS {
         let labels = weighted_kmeans_once(points, weights, k, max_iter, rng);

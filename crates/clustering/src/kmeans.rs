@@ -65,7 +65,7 @@ impl KMeans {
     }
 
     fn fit_once(&self, x: &Matrix, rng: &mut StdRng) -> KMeansResult {
-        let _fit_timer = obs::span!("kmeans.fit_ms");
+        let _fit_timer = obs::span!("kmeans.fit");
         let mut centroids = match self.init {
             KMeansInit::Random => {
                 let idx = sample_without_replacement(x.rows(), self.k, rng);
@@ -75,24 +75,25 @@ impl KMeans {
         };
         let mut labels = vec![0usize; x.rows()];
         let mut n_iter = 0;
-        // Phase timers are hoisted handles (one registry lookup per fit,
-        // not per iteration); recording happens outside the parallel
-        // kernels, so the Lloyd iterates are untouched by instrumentation.
-        let registry = obs::registry();
-        let assign_hist = registry.histogram("kmeans.assign_ms");
-        let update_hist = registry.histogram("kmeans.update_ms");
-        let iterations = registry.counter("kmeans.iterations");
+        // Phase spans nest under kmeans.fit in the profile tree (and feed
+        // the like-named histograms); they wrap the parallel kernels from
+        // the outside, so the Lloyd iterates are untouched by
+        // instrumentation.
+        let iterations = obs::registry().counter("kmeans.iterations");
         for iter in 0..self.max_iter {
             n_iter = iter + 1;
-            let assign_start = std::time::Instant::now();
-            let d = sq_euclidean_cdist(x, &centroids);
-            labels = d.argmax_rows_negated();
-            assign_hist.record(assign_start.elapsed().as_secs_f64() * 1e3);
-            let update_start = std::time::Instant::now();
-            let next = centroids_from_labels(x, &labels, self.k, &centroids);
-            let shift = next.max_abs_diff(&centroids);
-            centroids = next;
-            update_hist.record(update_start.elapsed().as_secs_f64() * 1e3);
+            {
+                let _assign = obs::span!("kmeans.assign");
+                let d = sq_euclidean_cdist(x, &centroids);
+                labels = d.argmax_rows_negated();
+            }
+            let shift = {
+                let _update = obs::span!("kmeans.update");
+                let next = centroids_from_labels(x, &labels, self.k, &centroids);
+                let shift = next.max_abs_diff(&centroids);
+                centroids = next;
+                shift
+            };
             iterations.inc();
             if shift < self.tol {
                 break;

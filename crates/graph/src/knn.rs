@@ -32,7 +32,7 @@ pub fn knn_adjacency(x: &Matrix, k: usize) -> Csr {
     let n = x.rows();
     assert!(k > 0, "knn_adjacency: k must be positive");
     assert!(k < n, "knn_adjacency: k = {k} must be < n = {n}");
-    let _build_timer = obs::span!("knn.build_ms");
+    let _build_timer = obs::span!("knn.build");
     let registry = obs::registry();
     registry.counter("knn.rows").add(n as u64);
     let block_hist = registry.histogram("knn.block_ms");

@@ -132,6 +132,7 @@ impl Autoencoder {
     ) -> Vec<f64> {
         use rand::Rng;
         assert!((0.0..1.0).contains(&corruption), "corruption must be in [0,1)");
+        let _pretrain_timer = obs::span!("ae.pretrain");
         let n = x.rows();
         let batch_size = batch_size.clamp(1, n.max(1));
         let mut adam = Adam::new(lr);

@@ -1,0 +1,233 @@
+//! Opt-in allocation tracking: a std-only `#[global_allocator]` wrapper
+//! that attributes bytes and allocation counts to the innermost active
+//! span (see [`crate::profile`]).
+//!
+//! Off by default and free when off (one relaxed atomic load per
+//! allocation). Enabled by `TABLEDC_PROFILE=alloc` in the environment
+//! (comma-separated modes; only `alloc` is recognized today) or
+//! [`set_alloc_tracking`] at runtime.
+//!
+//! ## Safety constraints inside the hook
+//!
+//! The hook runs inside `alloc`/`dealloc`, so it must never allocate,
+//! never lock the span-tree mutex (tree operations allocate while holding
+//! it → deadlock), and never touch lazily-initialized or `Drop`-carrying
+//! thread-locals. It therefore only:
+//!
+//! - reads a const-initialized `Cell<NodeId>` for the innermost span,
+//! - guards against re-entry with a const-initialized `Cell<bool>`
+//!   (reading the environment on first use allocates, which would
+//!   otherwise recurse), and
+//! - `fetch_add`s into fixed static atomic arrays indexed by node id.
+//!
+//! Attribution is by *allocating span*: bytes allocated inside a span and
+//! freed later still count against the allocator, which is the number
+//! that matters for allocation-rate profiling. `LIVE`/`PEAK` track the
+//! process-wide live heap for a high-water-mark readout.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+
+use crate::profile::{ROOT, MAX_NODES};
+
+/// Environment variable selecting profile modes (`alloc` enables the
+/// tracking allocator).
+pub const PROFILE_ENV: &str = "TABLEDC_PROFILE";
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+
+/// Per-node attribution, fixed-size so the hook never allocates.
+static BYTES: [AtomicU64; MAX_NODES] = [const { AtomicU64::new(0) }; MAX_NODES];
+static COUNTS: [AtomicU64; MAX_NODES] = [const { AtomicU64::new(0) }; MAX_NODES];
+
+/// Process-wide live-heap gauge and its high-water mark.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Re-entrancy guard: reading `TABLEDC_PROFILE` (and any accidental
+    /// future allocation in the slow path) must not recurse into
+    /// accounting.
+    static IN_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when allocation tracking is active.
+pub fn tracking_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_state(),
+    }
+}
+
+#[cold]
+fn init_state() -> bool {
+    // env::var allocates; IN_HOOK is already set when we get here from the
+    // allocator hook, so the nested allocations skip accounting instead of
+    // recursing.
+    let on = std::env::var(PROFILE_ENV)
+        .map(|v| v.split(',').any(|m| m.trim().eq_ignore_ascii_case("alloc")))
+        .unwrap_or(false);
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Forces allocation tracking on or off, overriding the environment.
+/// Intended for tests; production use goes through `TABLEDC_PROFILE`.
+pub fn set_alloc_tracking(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// `(bytes, count)` attributed to tree node `id`.
+pub(crate) fn node_totals(id: usize) -> (u64, u64) {
+    if id < MAX_NODES {
+        (BYTES[id].load(Ordering::Relaxed), COUNTS[id].load(Ordering::Relaxed))
+    } else {
+        (0, 0)
+    }
+}
+
+/// `(bytes, count)` allocated while no span was active.
+pub(crate) fn unattributed_totals() -> (u64, u64) {
+    node_totals(ROOT as usize)
+}
+
+/// High-water mark of the live heap since process start (or the last
+/// [`reset_counters`]), in bytes. Only meaningful while tracking is on.
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Clears per-node attribution and the peak gauge (test isolation).
+pub(crate) fn reset_counters() {
+    for i in 0..MAX_NODES {
+        BYTES[i].store(0, Ordering::Relaxed);
+        COUNTS[i].store(0, Ordering::Relaxed);
+    }
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    IN_HOOK.with(|g| {
+        if g.replace(true) {
+            return; // re-entrant (env read or nested accounting): skip
+        }
+        if tracking_enabled() {
+            let node = crate::profile::current_node() as usize;
+            let idx = if node < MAX_NODES { node } else { ROOT as usize };
+            BYTES[idx].fetch_add(size as u64, Ordering::Relaxed);
+            COUNTS[idx].fetch_add(1, Ordering::Relaxed);
+            let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        g.set(false);
+    });
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    IN_HOOK.with(|g| {
+        if g.replace(true) {
+            return;
+        }
+        if tracking_enabled() {
+            // Saturating: frees of blocks allocated before tracking was
+            // switched on must not wrap the gauge.
+            let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(size as u64))
+            });
+        }
+        g.set(false);
+    });
+}
+
+/// System-allocator wrapper attributing allocations to the innermost
+/// active span. Installed as the `#[global_allocator]` in
+/// [`crate`](crate), so every binary linking `obs` gets opt-in tracking
+/// for free.
+pub struct TrackingAlloc;
+
+// SAFETY: defers every allocation to `System` unchanged; the accounting
+// hooks never allocate, unwind, or touch the returned pointers.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // Model as free-then-alloc so the live gauge stays exact and
+            // the growth is attributed to the current span.
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracking_attributes_bytes_to_the_active_span() {
+        crate::test_support::with_sink_disabled(|| {
+            set_alloc_tracking(true);
+            let before = {
+                let _s = crate::span("alloctest.attribution");
+                // Force a heap allocation visibly inside the span.
+                let v: Vec<u64> = Vec::with_capacity(4096);
+                std::hint::black_box(&v);
+                crate::profile::snapshot()
+                    .iter()
+                    .find(|n| n.name == "alloctest.attribution")
+                    .map(|n| n.alloc_bytes)
+            };
+            set_alloc_tracking(false);
+            // The node exists only after first exit; re-snapshot post-drop.
+            let bytes = crate::profile::snapshot()
+                .iter()
+                .find(|n| n.name == "alloctest.attribution")
+                .map(|n| n.alloc_bytes)
+                .or(before)
+                .unwrap_or(0);
+            assert!(
+                bytes >= 4096 * 8,
+                "span should own at least the Vec's 32 KiB, got {bytes}"
+            );
+        });
+    }
+
+    #[test]
+    fn tracking_off_is_inert() {
+        set_alloc_tracking(false);
+        let v: Vec<u8> = vec![0; 1024];
+        std::hint::black_box(&v);
+        // Nothing to assert beyond "does not crash/deadlock": the hook
+        // takes the single-load fast path.
+    }
+}

@@ -119,7 +119,11 @@ impl Histogram {
                 let est = if i == 0 {
                     MIN_BOUND / 2.0
                 } else if i == NUM_BUCKETS - 1 {
-                    lo
+                    // The overflow bucket is unbounded, so its geometric
+                    // midpoint is meaningless; the observed max is the
+                    // only honest estimate (`lo` could undershoot by
+                    // hundreds of decades).
+                    self.max
                 } else {
                     (lo * hi).sqrt()
                 };
@@ -220,6 +224,56 @@ mod tests {
         assert_eq!(h.quantile(0.0), 7.0);
         assert_eq!(h.quantile(0.5), 7.0);
         assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_every_quantile_is_zero() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0.0, "q = {q}");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile_for_any_magnitude() {
+        // One sample in the underflow, mid-range, and overflow regimes:
+        // clamping to [min, max] must make it exact in all three.
+        for v in [1e-9, 0.5, 3.25, 1e12] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v = {v}, q = {q}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            assert_eq!(h.count(), 1);
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_does_not_misreport_max() {
+        // Values far past the top log bucket must neither panic nor pull
+        // high quantiles down to the last bucket's lower bound (~3e6 when
+        // recording milliseconds).
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1e300);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 1e300);
+        assert_eq!(h.quantile(1.0), 1e300, "p100 must report the observed max");
+        assert_eq!(h.quantile(0.95), 1e300, "rank 95 falls in the overflow bucket");
+        // Low quantiles are untouched by the overflow samples.
+        assert!(h.quantile(0.5) <= 2.0);
+        // Infinity saturates the same bucket without panicking.
+        h.record(f64::INFINITY);
+        assert_eq!(h.max(), f64::INFINITY);
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
     }
 
     #[test]

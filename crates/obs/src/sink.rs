@@ -9,7 +9,11 @@
 //!
 //! Every event line is a flat JSON object with at least `ts_ms` (f64
 //! milliseconds on the process-local monotonic clock) and `event` (the
-//! event name); remaining keys are event-specific fields.
+//! event name); remaining keys are event-specific fields. `ts_ms` is
+//! stamped *under the sink lock*, immediately before the line is written,
+//! so timestamps are monotonically non-decreasing across the whole trace
+//! even when many threads emit concurrently — `trace_check` enforces
+//! this.
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -73,15 +77,27 @@ pub fn trace_target_description() -> String {
     }
 }
 
-fn write_line(line: &str) {
-    match &mut *lock(sink()) {
+/// Stamps `ts_ms` and writes one event line. The timestamp is taken while
+/// holding the sink lock so lines land in the file in timestamp order.
+fn write_event(tail: &str) {
+    let mut state = lock(sink());
+    if matches!(*state, SinkState::Disabled) {
+        return;
+    }
+    let mut line = String::with_capacity(tail.len() + 32);
+    line.push_str("{\"ts_ms\":");
+    json::number_into(&mut line, crate::now_ms());
+    line.push(',');
+    line.push_str(tail);
+    line.push('}');
+    match &mut *state {
         SinkState::Disabled => {}
         SinkState::Stderr => eprintln!("{line}"),
         SinkState::File(w) => {
             let _ = writeln!(w, "{line}");
             let _ = w.flush();
         }
-        SinkState::Memory(captured) => captured.push(line.to_string()),
+        SinkState::Memory(captured) => captured.push(line),
     }
 }
 
@@ -105,9 +121,7 @@ pub fn event(name: &str) -> Event {
         return Event { buf: None };
     }
     let mut buf = String::with_capacity(96);
-    buf.push_str("{\"ts_ms\":");
-    json::number_into(&mut buf, crate::now_ms());
-    buf.push_str(",\"event\":");
+    buf.push_str("\"event\":");
     json::escape_into(&mut buf, name);
     Event { buf: Some(buf) }
 }
@@ -166,10 +180,10 @@ impl Event {
     }
 
     /// Writes the event as one JSON line (no-op when tracing is disabled).
+    /// `ts_ms` is stamped at write time, under the sink lock.
     pub fn emit(self) {
-        if let Some(mut buf) = self.buf {
-            buf.push('}');
-            write_line(&buf);
+        if let Some(buf) = self.buf {
+            write_event(&buf);
         }
     }
 }
@@ -250,6 +264,35 @@ mod tests {
         assert_eq!(v.get("bad").unwrap(), &crate::json::Json::Null);
         assert_eq!(v.get("s").unwrap().as_str(), Some("he\"llo\n"));
         assert_eq!(v.get("flag").unwrap(), &crate::json::Json::Bool(true));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_across_concurrent_emitters() {
+        let ((), lines) = test_support::with_memory_sink(|| {
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        for i in 0..50u64 {
+                            event("mono.test").u64("t", t).u64("i", i).emit();
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("emitter thread");
+            }
+        });
+        assert_eq!(lines.len(), 200);
+        let mut last = f64::NEG_INFINITY;
+        for line in &lines {
+            let ts = parse(line)
+                .expect("valid JSON")
+                .get("ts_ms")
+                .and_then(crate::json::Json::as_f64)
+                .expect("ts_ms");
+            assert!(ts >= last, "ts went backwards: {ts} < {last}");
+            last = ts;
+        }
     }
 
     #[test]

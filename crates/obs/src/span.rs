@@ -1,19 +1,39 @@
-//! RAII wall-clock span timers on the monotonic clock.
+//! RAII wall-clock span timers on the monotonic clock, feeding both the
+//! flat registry histogram named after the span and the hierarchical
+//! span tree in [`crate::profile`].
+//!
+//! Static span names (`span!("kmeans.fit")`) are borrowed, not allocated;
+//! dynamic names (`span(format!("epoch.{i}"))`) still work through the
+//! same `Cow` API.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
+use crate::profile::{self, NodeId};
+
 /// A running span. On drop, the elapsed milliseconds are recorded into the
-/// registry histogram named after the span.
+/// registry histogram named after the span, and total/self time lands in
+/// the span tree under the innermost enclosing span.
 #[must_use = "bind to a variable; dropping immediately times nothing"]
 pub struct Span {
-    name: String,
+    name: Cow<'static, str>,
+    node: NodeId,
     start: Instant,
 }
 
-/// Starts a span named `name`. Prefer the [`span!`](crate::span!) macro in
-/// instrumented code for grep-ability.
-pub fn span(name: impl Into<String>) -> Span {
-    Span { name: name.into(), start: Instant::now() }
+/// Starts a span named `name`. `&'static str` names are borrowed without
+/// allocating. Prefer the [`span!`](crate::span!) macro in instrumented
+/// code for grep-ability.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    let name = name.into();
+    let node = profile::enter(&name);
+    if crate::enabled() {
+        crate::event("span.enter")
+            .str("span", &name)
+            .u64("thread", crate::thread_id())
+            .emit();
+    }
+    Span { name, node, start: Instant::now() }
 }
 
 impl Span {
@@ -22,7 +42,7 @@ impl Span {
         self.start.elapsed().as_secs_f64() * 1e3
     }
 
-    /// The histogram name this span records into.
+    /// The histogram / tree-node name this span records into.
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -30,13 +50,22 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        crate::registry().histogram(&self.name).record(self.elapsed_ms());
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        profile::exit(self.node, elapsed_ns);
+        crate::registry().histogram(&self.name).record(elapsed_ns as f64 / 1e6);
+        if crate::enabled() {
+            crate::event("span.exit")
+                .str("span", &self.name)
+                .u64("thread", crate::thread_id())
+                .f64("ms", elapsed_ns as f64 / 1e6)
+                .emit();
+        }
     }
 }
 
-/// Starts an RAII span timer: `let _t = obs::span!("kmeans.fit_ms");`.
-/// The elapsed time lands in the histogram of the same name when the
-/// binding drops.
+/// Starts an RAII span timer: `let _t = obs::span!("kmeans.fit");`.
+/// The elapsed time lands in the histogram of the same name — and in the
+/// span tree, nested under the enclosing span — when the binding drops.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
@@ -50,19 +79,42 @@ mod tests {
 
     #[test]
     fn span_records_elapsed_ms_into_named_histogram() {
-        {
-            let s = span("test.span_ms");
-            std::thread::sleep(std::time::Duration::from_millis(2));
-            assert!(s.elapsed_ms() >= 1.0);
-            assert_eq!(s.name(), "test.span_ms");
-        }
-        let h = crate::registry().histogram("test.span_ms").snapshot();
-        assert!(h.count() >= 1);
-        assert!(h.max() >= 1.0, "max = {}", h.max());
+        crate::test_support::with_sink_disabled(|| {
+            {
+                let s = span("test.span_ms");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                assert!(s.elapsed_ms() >= 1.0);
+                assert_eq!(s.name(), "test.span_ms");
+            }
+            let h = crate::registry().histogram("test.span_ms").snapshot();
+            assert!(h.count() >= 1);
+            assert!(h.max() >= 1.0, "max = {}", h.max());
+        });
     }
 
     #[test]
-    fn span_macro_expands_to_a_span() {
-        let _t = crate::span!("test.macro_span_ms");
+    fn static_names_are_borrowed_dynamic_names_still_work() {
+        crate::test_support::with_sink_disabled(|| {
+            let s = span("test.static_name");
+            assert!(matches!(s.name, Cow::Borrowed(_)));
+            drop(s);
+            let d = span(format!("test.dynamic_{}", 7));
+            assert_eq!(d.name(), "test.dynamic_7");
+        });
+    }
+
+    #[test]
+    fn span_emits_enter_and_exit_events_when_traced() {
+        let ((), lines) = crate::test_support::with_memory_sink(|| {
+            let _t = crate::span!("test.traced_span");
+        });
+        let enters: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"event\":\"span.enter\"")).collect();
+        let exits: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"event\":\"span.exit\"")).collect();
+        assert_eq!(enters.len(), 1, "lines: {lines:?}");
+        assert_eq!(exits.len(), 1, "lines: {lines:?}");
+        assert!(enters[0].contains("\"span\":\"test.traced_span\""));
+        assert!(exits[0].contains("\"thread\":"));
     }
 }

@@ -88,8 +88,9 @@ mod tests {
     }
 
     /// Instrumentation is outside the reduction trees, so enabling the
-    /// trace sink must not change a single output bit for any thread
-    /// count — the determinism contract survives observability.
+    /// trace sink, the span tree, *and* allocation tracking — profiling
+    /// fully on — must not change a single output bit for any thread
+    /// count: the determinism contract survives observability.
     #[test]
     fn tracing_on_is_bit_identical_and_publishes_pool_gauges() {
         let values: Vec<f64> = (0..1553).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
@@ -101,7 +102,13 @@ mod tests {
         };
         let untraced = obs::test_support::with_sink_disabled(|| reduce(&ThreadPool::new(1)));
         let (traced, _lines) = obs::test_support::with_memory_sink(|| {
-            [1usize, 2, 4, 8].map(|threads| reduce(&ThreadPool::new(threads)))
+            obs::profile::set_alloc_tracking(true);
+            let results = [1usize, 2, 4, 8].map(|threads| {
+                let _span = obs::span!("runtime.test_reduce");
+                reduce(&ThreadPool::new(threads))
+            });
+            obs::profile::set_alloc_tracking(false);
+            results
         });
         for (threads, got) in [1usize, 2, 4, 8].into_iter().zip(traced) {
             assert!(

@@ -364,11 +364,16 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         self.latch.pending.fetch_add(1, Ordering::AcqRel);
         let latch = Arc::clone(&self.latch);
         let shared = Arc::clone(&self.pool.shared);
+        // Capture the spawner's innermost span so spans created inside the
+        // task nest under their logical parent in the profile tree instead
+        // of appearing as orphan roots on the worker thread.
+        let ctx = obs::profile::current_context();
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             // `guard` is declared first so it drops *last*: the counters
             // below must be published before the latch releases, or a
             // caller could read `stats()` missing this task.
             let mut guard = CompletionGuard { latch, completed: false };
+            let _ctx = obs::profile::enter_context(ctx);
             let started = Instant::now();
             f();
             shared.counters.busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);

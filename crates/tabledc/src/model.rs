@@ -119,7 +119,7 @@ impl TableDc {
     /// # Panics
     /// Panics if `k` is 0 or exceeds the number of rows.
     pub fn fit(config: TableDcConfig, x: &Matrix, rng: &mut StdRng) -> (TableDc, TableDcFit) {
-        let _fit_timer = obs::span!("tabledc.fit_ms");
+        let _fit_timer = obs::span!("tabledc.fit");
         assert!(config.k >= 1, "TableDC: k must be >= 1");
         assert!(config.k <= x.rows(), "TableDC: k = {} > n = {}", config.k, x.rows());
 
@@ -186,6 +186,7 @@ impl TableDc {
 
     /// Lines 3–12 of Algorithm 1: the joint optimization loop.
     fn train(&mut self, x: &Matrix) -> TableDcFit {
+        let _train_timer = obs::span!("tabledc.train");
         let cfg = self.config.clone();
         let mut adam = Adam::new(cfg.lr);
         let mut history = History::default();
@@ -300,6 +301,7 @@ impl TableDc {
 
     /// Batched `(q, m)` inference on an already-standardized matrix.
     fn soft_assignments_std(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let _infer_timer = obs::span!("tabledc.infer");
         let n = x.rows();
         if n <= Self::INFER_BATCH {
             return self.soft_assignments_block(x);

@@ -37,6 +37,7 @@ pub fn matmul(pool: &ThreadPool, a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
+    let _timer = obs::span!("tensor.matmul");
     let (n, k, m) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(n, m);
     if n == 0 || m == 0 || k == 0 {
@@ -70,6 +71,7 @@ pub fn sq_euclidean_cdist(pool: &ThreadPool, x: &Matrix, y: &Matrix) -> Matrix {
         x.cols(),
         y.cols()
     );
+    let _timer = obs::span!("tensor.cdist");
     let (xn, yn): (Vec<f64>, Vec<f64>) = par_join(
         pool,
         || x.row_iter().map(|r| r.iter().map(|v| v * v).sum()).collect(),

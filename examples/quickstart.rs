@@ -7,7 +7,10 @@
 //!
 //! With `TABLEDC_TRACE=stderr` (or a file path) the run also emits
 //! per-epoch JSON-lines events and ends with the observability summary
-//! table (epoch timing quantiles, pool steal/busy stats).
+//! table (epoch timing quantiles, pool steal/busy stats) plus the
+//! hierarchical span tree. `TABLEDC_PROFILE=alloc` adds attributed
+//! allocation columns; `TABLEDC_FOLDED=<path>` writes the tree in
+//! folded-stack format for flamegraph tooling.
 
 use clustering::metrics::{accuracy, adjusted_rand_index};
 use clustering::KMeans;
@@ -62,5 +65,9 @@ fn main() {
     if obs::enabled() {
         runtime::global().record_stats();
         eprintln!("{}", obs::summary());
+        eprintln!("{}", obs::profile::report());
+    }
+    if let Some(folded_path) = obs::profile::write_folded_if_requested() {
+        eprintln!("# wrote folded stacks to {folded_path}");
     }
 }

@@ -1,15 +1,23 @@
 #!/bin/bash
-# Tier-1 verification gate plus a serial-vs-parallel runtime smoke and a
-# traced-run observability smoke.
+# Tier-1 verification gate plus a serial-vs-parallel runtime smoke, a
+# traced-run observability smoke, and a perf-regression gate.
 #
 #   1. cargo build --release && cargo test -q   (the repo's tier-1 gate)
 #   2. par_smoke example: times sq_euclidean_cdist on a 2000x128 matrix on
 #      a 1-thread pool vs the full pool, asserts the outputs are
 #      bit-identical, and fails if the parallel run is >1.5x slower than
 #      serial.
-#   3. quickstart under TABLEDC_TRACE=<file>: the emitted trace must be
-#      valid JSON lines (checked by the trace_check binary) and contain
-#      the per-epoch training events.
+#   3. quickstart under TABLEDC_TRACE=<file> + TABLEDC_PROFILE=alloc +
+#      TABLEDC_FOLDED=<file>: the emitted trace must be valid JSON lines
+#      with monotone timestamps and balanced per-thread spans (checked by
+#      the trace_check binary) and contain the per-epoch training events;
+#      the folded-stack export must be non-empty and rooted at
+#      tabledc.fit.
+#   4. repro table2 compared against the committed
+#      results/BENCH_baseline.json with perfdiff: per-experiment and
+#      per-method wall times and per-phase profile self-times must stay
+#      within TABLEDC_PERF_TOL (default 1.5x, plus absolute floors so
+#      near-zero phases never flake the gate).
 #
 # Usage: results/verify.sh   (from anywhere; cd's to the repo root)
 set -e
@@ -26,11 +34,26 @@ echo "== runtime smoke: serial vs parallel cdist =="
 # example still applies its slowdown gate.
 TABLEDC_THREADS=${TABLEDC_THREADS:-4} cargo run --release -q -p bench --example par_smoke
 
-echo "== observability smoke: traced quickstart =="
+echo "== observability smoke: traced + profiled quickstart =="
 trace_file=$(mktemp /tmp/tabledc_trace.XXXXXX.jsonl)
-trap 'rm -f "$trace_file"' EXIT
-TABLEDC_TRACE="$trace_file" cargo run --release -q -p bench --example quickstart > /dev/null
+folded_file=$(mktemp /tmp/tabledc_folded.XXXXXX.txt)
+perf_file=$(mktemp /tmp/tabledc_perf.XXXXXX.json)
+trap 'rm -f "$trace_file" "$folded_file" "$perf_file"' EXIT
+TABLEDC_TRACE="$trace_file" TABLEDC_PROFILE=alloc TABLEDC_FOLDED="$folded_file" \
+    cargo run --release -q -p bench --example quickstart > /dev/null
 cargo run --release -q -p bench --bin trace_check -- "$trace_file" \
-    ae.pretrain_epoch tabledc.epoch
+    ae.pretrain_epoch tabledc.epoch span.enter span.exit
+test -s "$folded_file" || { echo "folded export is empty"; exit 1; }
+grep -q '^tabledc\.fit;' "$folded_file" \
+    || { echo "folded export has no tabledc.fit subtree"; cat "$folded_file"; exit 1; }
+
+echo "== perf gate: repro table2 vs committed baseline =="
+# --epoch-factor 0.35 matches how results/BENCH_baseline.json was
+# generated (and the committed repro_all practice) — the gate compares
+# like with like and stays fast enough to run on every verify.
+cargo run --release -q -p bench --bin repro -- table2 --epoch-factor 0.35 \
+    --out "$perf_file" > /dev/null
+cargo run --release -q -p bench --bin perfdiff -- \
+    results/BENCH_baseline.json "$perf_file" --tolerance "${TABLEDC_PERF_TOL:-1.5}"
 
 echo "verify.sh: all gates passed"
