@@ -43,7 +43,10 @@ impl Tape {
     }
 
     fn push(&self, value: Matrix, op: Op) -> Var {
-        debug_assert!(value.all_finite(), "non-finite value entered the tape");
+        // Non-finite values are allowed to flow through the tape: numerical
+        // health is the training loop's concern (`obs::health`), which can
+        // report *which* tensor diverged and dump diagnostics — a blind
+        // panic here would preempt that and only ever fire in debug builds.
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, op });
         Var(nodes.len() - 1)

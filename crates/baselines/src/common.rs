@@ -51,13 +51,45 @@ pub struct ClusterOutput {
     pub re_loss: Vec<f64>,
     /// Per-epoch `KL(p‖q)` divergence (when the method is self-supervised).
     pub kl_pq: Vec<f64>,
+    /// Numerical-health verdict of the run (policy from `TABLEDC_HEALTH`).
+    pub health: obs::HealthReport,
 }
 
 impl ClusterOutput {
     /// Output with labels only.
     pub fn from_labels(labels: Vec<usize>) -> Self {
-        Self { labels, re_loss: Vec::new(), kl_pq: Vec::new() }
+        Self { labels, re_loss: Vec::new(), kl_pq: Vec::new(), health: obs::HealthReport::default() }
     }
+}
+
+/// Per-epoch telemetry + health checking shared by the deep baselines:
+/// emits one `baseline.epoch` event and checks each loss scalar against the
+/// monitor's policy. Returns [`Abort`](obs::health::Action::Abort) when a
+/// strict-policy violation was found — the baseline then stops its epoch
+/// loop (baselines record the violation but do not write diagnostic dumps;
+/// those are TableDC's own abort path).
+pub fn epoch_health(
+    monitor: &mut obs::HealthMonitor,
+    method: &str,
+    epoch: usize,
+    re_loss: f64,
+    kl_pq: f64,
+    loss: f64,
+) -> obs::health::Action {
+    obs::event("baseline.epoch")
+        .str("method", method)
+        .u64("epoch", epoch as u64)
+        .f64("re_loss", re_loss)
+        .f64("kl_pq", kl_pq)
+        .f64("loss", loss)
+        .emit();
+    for (name, v) in [("re_loss", re_loss), ("kl_pq", kl_pq), ("loss", loss)] {
+        let action = monitor.check_scalar(&format!("{method}.{name}"), v, epoch as u64);
+        if action.should_abort() {
+            return action;
+        }
+    }
+    obs::health::Action::Continue
 }
 
 /// Student's-t soft assignments between latent points and centers with the

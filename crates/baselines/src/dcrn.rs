@@ -17,7 +17,9 @@ use rand::Rng;
 use tabledc::target_distribution;
 use tensor::Matrix;
 
-use crate::common::{kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig};
+use crate::common::{
+    epoch_health, kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig,
+};
 
 /// DCRN model configuration.
 #[derive(Debug, Clone)]
@@ -62,7 +64,8 @@ impl Dcrn {
         let mut out = ClusterOutput::from_labels(vec![0; x.rows()]);
         let mut final_q = Matrix::zeros(x.rows(), k);
 
-        for _ in 0..cfg.epochs {
+        let mut monitor = obs::HealthMonitor::from_env();
+        for epoch in 0..cfg.epochs {
             // Two feature-dropout views (the siamese augmentation).
             let view = |r: &mut StdRng| {
                 let mut v = x.clone();
@@ -83,7 +86,7 @@ impl Dcrn {
             let mut q_val = Matrix::zeros(1, 1);
             let mut re_val = 0.0;
             let mut kl_val = 0.0;
-            let _ = train_step(&mut params, &mut adam, |t, bound| {
+            let loss_val = train_step(&mut params, &mut adam, |t, bound| {
                 let xv = t.constant(x.clone());
                 let x1v = t.constant(x1.clone());
                 let x2v = t.constant(x2.clone());
@@ -112,12 +115,16 @@ impl Dcrn {
                 kl_val = kl_div_value(&p, &q_val);
                 t.add(t.add(re, t.scale(kl, 0.1)), t.scale(corr_loss, 1.0))
             });
+            if epoch_health(&mut monitor, "dcrn", epoch, re_val, kl_val, loss_val).should_abort() {
+                break;
+            }
             out.re_loss.push(re_val);
             out.kl_pq.push(kl_val);
             final_q = q_val;
         }
 
         out.labels = final_q.argmax_rows();
+        out.health = monitor.report();
         out
     }
 }

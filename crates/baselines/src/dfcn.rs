@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use tabledc::target_distribution;
 use tensor::Matrix;
 
-use crate::common::{kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig};
+use crate::common::{
+    epoch_health, kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig,
+};
 
 /// DFCN model configuration.
 #[derive(Debug, Clone, Default)]
@@ -61,14 +63,15 @@ impl Dfcn {
         };
         let mut final_q = Matrix::zeros(x.rows(), k);
 
-        for _ in 0..cfg.epochs {
+        let mut monitor = obs::HealthMonitor::from_env();
+        for epoch in 0..cfg.epochs {
             let adj = adj.clone();
             let ae_ref = &ae;
             let gcn_ref = &gcn;
             let mut q_val = Matrix::zeros(1, 1);
             let mut re_val = 0.0;
             let mut kl_val = 0.0;
-            let _ = train_step(&mut params, &mut adam, |t, bound| {
+            let loss_val = train_step(&mut params, &mut adam, |t, bound| {
                 let xv = t.constant(x.clone());
                 let z_ae = ae_ref.encode(bound, xv);
                 let recon = ae_ref.decode(bound, z_ae);
@@ -98,12 +101,16 @@ impl Dfcn {
                 kl_val = kl_div_value(&p, &q_val);
                 t.add(t.add(re_ae, t.scale(re_gcn, 0.1)), t.scale(kl, 0.1))
             });
+            if epoch_health(&mut monitor, "dfcn", epoch, re_val, kl_val, loss_val).should_abort() {
+                break;
+            }
             out.re_loss.push(re_val);
             out.kl_pq.push(kl_val);
             final_q = q_val;
         }
 
         out.labels = final_q.argmax_rows();
+        out.health = monitor.report();
         out
     }
 }

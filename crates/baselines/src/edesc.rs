@@ -16,7 +16,7 @@ use tabledc::target_distribution;
 use tensor::random::xavier_uniform;
 use tensor::Matrix;
 
-use crate::common::{train_step, ClusterOutput, DeepConfig};
+use crate::common::{epoch_health, train_step, ClusterOutput, DeepConfig};
 
 /// EDESC model configuration.
 #[derive(Debug, Clone)]
@@ -61,14 +61,15 @@ impl Edesc {
         let mut out = ClusterOutput::from_labels(vec![0; x.rows()]);
         let mut final_s = Matrix::zeros(x.rows(), k);
 
-        for _ in 0..cfg.epochs {
+        let mut monitor = obs::HealthMonitor::from_env();
+        for epoch in 0..cfg.epochs {
             let ae_ref = &ae;
             let eta = self.eta;
             let latent = cfg.latent_dim;
             let mut s_val = Matrix::zeros(1, 1);
             let mut re_val = 0.0;
             let mut kl_val = 0.0;
-            let _ = train_step(&mut params, &mut adam, |t, bound| {
+            let loss_val = train_step(&mut params, &mut adam, |t, bound| {
                 let xv = t.constant(x.clone());
                 let z = ae_ref.encode(bound, xv);
                 let recon = ae_ref.decode(bound, z);
@@ -98,12 +99,16 @@ impl Edesc {
                 let _ = latent;
                 t.add(t.add(re, t.scale(kl, 0.1)), t.scale(ortho, 1.0))
             });
+            if epoch_health(&mut monitor, "edesc", epoch, re_val, kl_val, loss_val).should_abort() {
+                break;
+            }
             out.re_loss.push(re_val);
             out.kl_pq.push(kl_val);
             final_s = s_val;
         }
 
         out.labels = final_s.argmax_rows();
+        out.health = monitor.report();
         out
     }
 }

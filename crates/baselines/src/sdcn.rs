@@ -17,7 +17,9 @@ use rand::rngs::StdRng;
 use tabledc::target_distribution;
 use tensor::Matrix;
 
-use crate::common::{kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig};
+use crate::common::{
+    epoch_health, kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig,
+};
 
 /// SDCN model configuration.
 #[derive(Debug, Clone, Default)]
@@ -62,8 +64,9 @@ impl Sdcn {
         let mut out = ClusterOutput::from_labels(vec![0; x.rows()]);
         let epsilon = 0.5; // AE-injection mixing weight of the original.
         let mut final_z = Matrix::zeros(x.rows(), k);
+        let mut monitor = obs::HealthMonitor::from_env();
 
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             let adj = adj.clone();
             let ae_ref = &ae;
             let layers = &gcn_layers;
@@ -113,7 +116,9 @@ impl Sdcn {
                 // Original weights: 0.1·KL(p‖q) + 0.01·KL(p‖Z) + re.
                 t.add(t.add(t.scale(kl_q, 0.1), t.scale(kl_z, 0.01)), re)
             });
-            debug_assert!(loss_val.is_finite());
+            if epoch_health(&mut monitor, "sdcn", epoch, re_val, kl_val, loss_val).should_abort() {
+                break;
+            }
             out.re_loss.push(re_val);
             out.kl_pq.push(kl_val);
             final_z = z_val;
@@ -121,6 +126,7 @@ impl Sdcn {
 
         // SDCN predicts from the GCN distribution Z.
         out.labels = final_z.argmax_rows();
+        out.health = monitor.report();
         out
     }
 }
@@ -143,6 +149,29 @@ mod tests {
         let ari = adjusted_rand_index(&out.labels, &g.labels);
         assert!(ari > 0.4, "ARI = {ari}");
         assert_eq!(out.re_loss.len(), 25);
+    }
+
+    #[test]
+    fn sdcn_emits_epoch_events_and_reports_health() {
+        let g = generate_mixture(
+            &MixtureConfig { n: 30, k: 2, dim: 6, ..Default::default() },
+            &mut rng(5),
+        );
+        let cfg = DeepConfig { latent_dim: 4, pretrain_epochs: 2, epochs: 4, ..Default::default() };
+        let (out, lines) = obs::test_support::with_memory_sink(|| {
+            Sdcn::new(cfg).fit(&g.x, 2, &mut rng(6))
+        });
+        assert_eq!(out.health.verdict, obs::health::Verdict::Healthy);
+        let epochs: Vec<_> = lines.iter().filter(|l| l.contains("\"baseline.epoch\"")).collect();
+        assert_eq!(epochs.len(), 4, "one baseline.epoch event per epoch");
+        for line in &epochs {
+            let v = obs::json::parse(line).expect("valid JSON line");
+            assert_eq!(v.get("method").unwrap().as_str().unwrap(), "sdcn");
+            for key in ["epoch", "re_loss", "kl_pq", "loss"] {
+                let value = v.get(key).and_then(|j| j.as_f64()).expect("numeric field");
+                assert!(value.is_finite(), "{key} must be finite, got {value}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use bench::experiments::{ablations, figures, tables, RunOptions};
+use bench::ledger::{HealthSummary, RunManifest};
 use bench::report::{panic_message, render_table, ExperimentOutcome, MethodRecord, ReproReport};
 use datagen::Scale;
 
@@ -169,9 +170,48 @@ fn main() {
             std::process::exit(1);
         }
     }
+    match write_manifest(&command, &opts, &report).write() {
+        Ok(path) => eprintln!("# wrote run manifest {path}"),
+        Err(e) => eprintln!("# failed to write run manifest: {e}"),
+    }
     if report.any_failed() {
         std::process::exit(1);
     }
+}
+
+/// Builds the run-ledger manifest for this invocation: identity, health
+/// roll-up across every fit in the sweep, and the final quality metrics of
+/// each comparison-table cell.
+fn write_manifest(command: &str, opts: &RunOptions, report: &ReproReport) -> RunManifest {
+    let mut manifest = RunManifest::new(&format!("repro-{command}"));
+    manifest.command = format!("repro {command}");
+    manifest.seed = opts.seed;
+    manifest.scale = report.scale.clone();
+    manifest.epoch_factor = opts.epoch_factor;
+    let (violations, aborts) = obs::health::global_counts();
+    manifest.health = HealthSummary {
+        policy: obs::health::Policy::from_env().as_str().to_string(),
+        verdict: if aborts > 0 {
+            "aborted"
+        } else if violations > 0 {
+            "warned"
+        } else {
+            "healthy"
+        }
+        .to_string(),
+        violations,
+        dump_path: None,
+    };
+    for m in report.methods.iter().filter(|m| m.status == "ok") {
+        let key = |metric: &str| format!("{}/{}/{}/{metric}", m.experiment, m.dataset, m.method);
+        if let Some(ari) = m.ari {
+            manifest.metrics.push((key("ari"), ari));
+        }
+        if let Some(acc) = m.acc {
+            manifest.metrics.push((key("acc"), acc));
+        }
+    }
+    manifest
 }
 
 /// Runs one experiment, returning its rendered output and (for the

@@ -16,6 +16,13 @@
 //!   `span` name and a `thread` id, exits must match the innermost open
 //!   enter on their thread, and every thread's stack must be empty at
 //!   end of file;
+//! * `nn.grad_norm` events carry finite numeric `epoch`, `global`, and
+//!   `update_ratio` fields (the emitter skips non-finite steps, so a
+//!   non-finite value in the trace is a bug);
+//! * `health.violation` events carry a non-empty string `tensor` and a
+//!   numeric `epoch`; `health.abort` must be followed (not necessarily
+//!   immediately) by a `health.dump` event whose `path` is a non-empty
+//!   string — an abort without its diagnostic dump is a broken contract;
 //! * any `required-event` names passed after the file each appear at
 //!   least once.
 //!
@@ -50,6 +57,8 @@ fn main() {
     let mut last_ts_line = 0usize;
     // Per-thread stack of currently open span names.
     let mut open: BTreeMap<u64, Vec<(String, usize)>> = BTreeMap::new();
+    // Line of the last health.abort not yet answered by a health.dump.
+    let mut pending_abort: Option<usize> = None;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -80,6 +89,41 @@ fn main() {
             .unwrap_or_else(|| fail(&format!("line {n}: missing string event")));
         if event.is_empty() {
             fail(&format!("line {n}: empty event name"));
+        }
+        match event {
+            "nn.grad_norm" => {
+                for key in ["epoch", "global", "update_ratio"] {
+                    let v = value.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+                        fail(&format!("line {n}: nn.grad_norm without numeric {key}"))
+                    });
+                    if !v.is_finite() {
+                        fail(&format!("line {n}: nn.grad_norm {key} = {v} is not finite"));
+                    }
+                }
+            }
+            "health.violation" => {
+                let tensor = value.get("tensor").and_then(Json::as_str).unwrap_or_else(|| {
+                    fail(&format!("line {n}: health.violation without string tensor"))
+                });
+                if tensor.is_empty() {
+                    fail(&format!("line {n}: health.violation with empty tensor"));
+                }
+                if value.get("epoch").and_then(Json::as_f64).is_none() {
+                    fail(&format!("line {n}: health.violation without numeric epoch"));
+                }
+            }
+            "health.abort" => pending_abort = Some(n),
+            "health.dump" => {
+                let path = value
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail(&format!("line {n}: health.dump without string path")));
+                if path.is_empty() {
+                    fail(&format!("line {n}: health.dump with empty path"));
+                }
+                pending_abort = None;
+            }
+            _ => {}
         }
         if event == "span.enter" || event == "span.exit" {
             let span = value
@@ -114,6 +158,11 @@ fn main() {
 
     if events == 0 {
         fail("trace contains no events");
+    }
+    if let Some(line) = pending_abort {
+        fail(&format!(
+            "health.abort on line {line} was never followed by a health.dump event"
+        ));
     }
     for (thread, stack) in &open {
         if let Some((name, line)) = stack.last() {

@@ -1,0 +1,486 @@
+//! The run ledger: persistent per-run manifests and their comparison.
+//!
+//! Every `repro` invocation and the quickstart example persist a
+//! [`RunManifest`] — config, seed, `TABLEDC_*` environment, git revision,
+//! per-epoch metric history, health verdict, and final quality metrics —
+//! as `results/runs/<run-id>.json` (directory overridable via
+//! `TABLEDC_RUNS_DIR`). The `runs` binary lists, shows, and diffs these
+//! manifests; the diff reuses the perf gate's two-sided comparison core
+//! ([`compare_rows`]) with quality metrics oriented higher-is-better and
+//! the health verdict encoded as a numeric severity rank.
+
+use std::path::PathBuf;
+
+use obs::json::{escape_into, number_into, parse, Json};
+
+use crate::perfdiff::{compare_rows, Better, DiffReport, Tolerance};
+
+/// Environment variable overriding the manifest directory.
+pub const RUNS_DIR_ENV: &str = "TABLEDC_RUNS_DIR";
+
+/// Default manifest directory, relative to the working directory.
+pub const DEFAULT_RUNS_DIR: &str = "results/runs";
+
+/// Absolute floor for quality-metric deltas in [`diff_manifests`]: a
+/// metric must drop by more than this *and* by more than the ratio to
+/// count as a regression (ACC/ARI/NMI all live in [-1, 1], so 0.05 is a
+/// five-point swing).
+pub const METRIC_FLOOR: f64 = 0.05;
+
+/// Absolute floor for the health-rank row: any verdict step
+/// (healthy → warned → aborted) exceeds it.
+pub const HEALTH_FLOOR: f64 = 0.5;
+
+/// Health outcome of a run, as persisted in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSummary {
+    /// Policy the run was checked under (`off`/`warn`/`strict`).
+    pub policy: String,
+    /// Verdict (`healthy`/`warned`/`aborted`).
+    pub verdict: String,
+    /// Total violations detected.
+    pub violations: u64,
+    /// Diagnostic dump path, when the run aborted.
+    pub dump_path: Option<String>,
+}
+
+impl HealthSummary {
+    /// Summary of an [`obs::HealthReport`].
+    pub fn from_report(report: &obs::HealthReport) -> Self {
+        Self {
+            policy: report.policy.as_str().to_string(),
+            verdict: report.verdict.as_str().to_string(),
+            violations: report.total_violations,
+            dump_path: report.dump_path.clone(),
+        }
+    }
+
+    /// Severity rank mirroring [`obs::health::Verdict::rank`]; unknown
+    /// verdict strings rank as aborted so a corrupt manifest never hides a
+    /// regression.
+    pub fn rank(&self) -> f64 {
+        match self.verdict.as_str() {
+            "healthy" => 0.0,
+            "warned" => 1.0,
+            _ => 2.0,
+        }
+    }
+}
+
+impl Default for HealthSummary {
+    fn default() -> Self {
+        Self {
+            policy: "warn".to_string(),
+            verdict: "healthy".to_string(),
+            violations: 0,
+            dump_path: None,
+        }
+    }
+}
+
+/// Per-epoch metric series persisted in the manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerHistory {
+    /// Reconstruction loss per epoch.
+    pub re_loss: Vec<f64>,
+    /// Clustering loss `KL(p‖m)` per epoch.
+    pub ce_loss: Vec<f64>,
+    /// Reported divergence `KL(p‖q)` per epoch.
+    pub kl_pq: Vec<f64>,
+    /// Global gradient norm per epoch.
+    pub grad_norm: Vec<f64>,
+    /// Update-to-parameter-norm ratio per epoch.
+    pub update_ratio: Vec<f64>,
+    /// Wall milliseconds per epoch.
+    pub epoch_ms: Vec<f64>,
+}
+
+impl LedgerHistory {
+    /// Builds the series from a TableDC training history.
+    pub fn from_history(h: &tabledc::History) -> Self {
+        Self {
+            re_loss: h.re_loss.clone(),
+            ce_loss: h.ce_loss.clone(),
+            kl_pq: h.kl_pq.clone(),
+            grad_norm: h.grad_norm.clone(),
+            update_ratio: h.update_ratio.clone(),
+            epoch_ms: h.epoch_ms.clone(),
+        }
+    }
+
+    fn series(&self) -> [(&'static str, &Vec<f64>); 6] {
+        [
+            ("re_loss", &self.re_loss),
+            ("ce_loss", &self.ce_loss),
+            ("kl_pq", &self.kl_pq),
+            ("grad_norm", &self.grad_norm),
+            ("update_ratio", &self.update_ratio),
+            ("epoch_ms", &self.epoch_ms),
+        ]
+    }
+}
+
+/// One persisted run: everything needed to identify, reproduce, and
+/// compare it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Unique id, also the file stem (`<command>-<unix-ms>-<pid>`).
+    pub run_id: String,
+    /// What produced the run (`repro table2`, `quickstart`, …).
+    pub command: String,
+    /// Creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: u64,
+    /// `git describe --always --dirty` output, or `"unknown"`.
+    pub git: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Dataset scale description.
+    pub scale: String,
+    /// Epoch multiplier.
+    pub epoch_factor: f64,
+    /// All `TABLEDC_*` environment overrides active during the run.
+    pub env: Vec<(String, String)>,
+    /// Health outcome.
+    pub health: HealthSummary,
+    /// Final quality metrics, keyed `dataset/method/metric`-style by the
+    /// producer (compared higher-is-better by [`diff_manifests`]).
+    pub metrics: Vec<(String, f64)>,
+    /// Per-epoch metric history.
+    pub history: LedgerHistory,
+}
+
+impl RunManifest {
+    /// Creates a manifest shell stamped with the current time, process,
+    /// git revision, and `TABLEDC_*` environment.
+    pub fn new(command: &str) -> Self {
+        let created_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let slug: String = command
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let mut env: Vec<(String, String)> =
+            std::env::vars().filter(|(k, _)| k.starts_with("TABLEDC_")).collect();
+        env.sort();
+        Self {
+            run_id: format!("{slug}-{created_unix_ms}-{}", std::process::id()),
+            command: command.to_string(),
+            created_unix_ms,
+            git: git_describe(),
+            seed: 0,
+            scale: String::new(),
+            epoch_factor: 1.0,
+            env,
+            health: HealthSummary::default(),
+            metrics: Vec::new(),
+            history: LedgerHistory::default(),
+        }
+    }
+
+    /// Serializes the manifest as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"run_id\": ");
+        escape_into(&mut out, &self.run_id);
+        out.push_str(",\n  \"command\": ");
+        escape_into(&mut out, &self.command);
+        out.push_str(&format!(",\n  \"created_unix_ms\": {},\n  \"git\": ", self.created_unix_ms));
+        escape_into(&mut out, &self.git);
+        out.push_str(&format!(",\n  \"seed\": {},\n  \"scale\": ", self.seed));
+        escape_into(&mut out, &self.scale);
+        out.push_str(",\n  \"epoch_factor\": ");
+        number_into(&mut out, self.epoch_factor);
+        out.push_str(",\n  \"env\": {");
+        for (i, (k, v)) in self.env.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            escape_into(&mut out, k);
+            out.push_str(": ");
+            escape_into(&mut out, v);
+        }
+        out.push_str("},\n  \"health\": {\"policy\": ");
+        escape_into(&mut out, &self.health.policy);
+        out.push_str(", \"verdict\": ");
+        escape_into(&mut out, &self.health.verdict);
+        out.push_str(&format!(", \"violations\": {}, \"dump_path\": ", self.health.violations));
+        match &self.health.dump_path {
+            Some(p) => escape_into(&mut out, p),
+            None => out.push_str("null"),
+        }
+        out.push_str("},\n  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("\n    ");
+            escape_into(&mut out, k);
+            out.push_str(": ");
+            number_into(&mut out, *v);
+        }
+        out.push_str("\n  },\n  \"history\": {");
+        for (i, (name, values)) in self.history.series().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("\n    ");
+            escape_into(&mut out, name);
+            out.push_str(": [");
+            for (j, v) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                number_into(&mut out, *v);
+            }
+            out.push(']');
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses a manifest from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse(text.trim())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest missing string field {key:?}"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("manifest missing numeric field {key:?}"))
+        };
+        let mut env = Vec::new();
+        if let Some(Json::Obj(pairs)) = v.get("env") {
+            for (k, val) in pairs {
+                if let Some(s) = val.as_str() {
+                    env.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        let health = match v.get("health") {
+            Some(h) => HealthSummary {
+                policy: h.get("policy").and_then(Json::as_str).unwrap_or("warn").to_string(),
+                verdict: h.get("verdict").and_then(Json::as_str).unwrap_or("healthy").to_string(),
+                violations: h.get("violations").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                dump_path: h.get("dump_path").and_then(Json::as_str).map(str::to_string),
+            },
+            None => return Err("manifest missing \"health\" object".to_string()),
+        };
+        let mut metrics = Vec::new();
+        match v.get("metrics") {
+            Some(Json::Obj(pairs)) => {
+                for (k, val) in pairs {
+                    match val.as_f64() {
+                        Some(f) => metrics.push((k.clone(), f)),
+                        None => return Err(format!("metric {k:?} is not numeric")),
+                    }
+                }
+            }
+            _ => return Err("manifest missing \"metrics\" object".to_string()),
+        }
+        let series = |name: &str| -> Vec<f64> {
+            match v.get("history").and_then(|h| h.get(name)) {
+                Some(Json::Arr(items)) => {
+                    items.iter().filter_map(Json::as_f64).collect()
+                }
+                _ => Vec::new(),
+            }
+        };
+        Ok(Self {
+            run_id: str_field("run_id")?,
+            command: str_field("command")?,
+            created_unix_ms: num_field("created_unix_ms")? as u64,
+            git: str_field("git")?,
+            seed: num_field("seed")? as u64,
+            scale: str_field("scale")?,
+            epoch_factor: num_field("epoch_factor")?,
+            env,
+            health,
+            metrics,
+            history: LedgerHistory {
+                re_loss: series("re_loss"),
+                ce_loss: series("ce_loss"),
+                kl_pq: series("kl_pq"),
+                grad_norm: series("grad_norm"),
+                update_ratio: series("update_ratio"),
+                epoch_ms: series("epoch_ms"),
+            },
+        })
+    }
+
+    /// Writes the manifest into the runs directory as
+    /// `<run_id>.json`, creating the directory if needed. Returns the path.
+    pub fn write(&self) -> Result<String, String> {
+        let dir = runs_dir();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{}.json", self.run_id));
+        std::fs::write(&path, self.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(path.to_string_lossy().into_owned())
+    }
+
+    /// Loads a manifest from a file path.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// One-line summary for `runs list`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<40} {:<10} {:<8} {:>3} metrics  git {}",
+            self.run_id,
+            self.command,
+            self.health.verdict,
+            self.metrics.len(),
+            self.git
+        )
+    }
+}
+
+/// The manifest directory: `TABLEDC_RUNS_DIR` or `results/runs`.
+pub fn runs_dir() -> PathBuf {
+    match std::env::var(RUNS_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(DEFAULT_RUNS_DIR),
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a repository.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Compares two manifests: quality metrics higher-is-better under the
+/// two-sided test (`tol.ratio` + [`METRIC_FLOOR`]), and the health verdict
+/// as a lower-is-better severity rank — so `healthy → warned/aborted` or a
+/// metric drop both count as regressions. Wall-time style rows are *not*
+/// compared here; that is the perf gate's job.
+pub fn diff_manifests(base: &RunManifest, cand: &RunManifest, tol: &Tolerance) -> DiffReport {
+    let mut out = DiffReport::default();
+    compare_rows(&mut out, "metric", &base.metrics, &cand.metrics, tol, METRIC_FLOOR, Better::Higher);
+    let base_health = vec![("health.rank".to_string(), base.health.rank())];
+    let cand_health = vec![("health.rank".to_string(), cand.health.rank())];
+    compare_rows(&mut out, "health", &base_health, &cand_health, tol, HEALTH_FLOOR, Better::Lower);
+    if base.health.verdict != cand.health.verdict {
+        out.notes.push(format!(
+            "health verdict changed: {} -> {}",
+            base.health.verdict, cand.health.verdict
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(acc: f64, ari: f64, verdict: &str) -> RunManifest {
+        RunManifest {
+            run_id: "test-1-1".to_string(),
+            command: "quickstart".to_string(),
+            created_unix_ms: 1,
+            git: "abc123".to_string(),
+            seed: 42,
+            scale: "Scaled".to_string(),
+            epoch_factor: 1.0,
+            env: vec![("TABLEDC_HEALTH".to_string(), "strict".to_string())],
+            health: HealthSummary {
+                policy: "strict".to_string(),
+                verdict: verdict.to_string(),
+                violations: u64::from(verdict != "healthy"),
+                dump_path: None,
+            },
+            metrics: vec![("tabledc/acc".to_string(), acc), ("tabledc/ari".to_string(), ari)],
+            history: LedgerHistory {
+                re_loss: vec![1.0, 0.5],
+                ce_loss: vec![0.2, 0.1],
+                kl_pq: vec![0.3, 0.2],
+                grad_norm: vec![2.0, 1.5],
+                update_ratio: vec![1e-3, 8e-4],
+                epoch_ms: vec![10.0, 9.0],
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = manifest(0.9, 0.8, "healthy");
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).expect("round trip parses");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn diff_against_self_has_no_regressions() {
+        let m = manifest(0.9, 0.8, "healthy");
+        let d = diff_manifests(&m, &m, &Tolerance::default());
+        assert!(!d.has_regressions(), "{:?}", d.regressions);
+        assert_eq!(d.compared, 3, "two metrics + health rank");
+    }
+
+    #[test]
+    fn metric_drop_is_a_regression_and_gain_is_not() {
+        let base = manifest(0.9, 0.8, "healthy");
+        let worse = manifest(0.9, 0.4, "healthy");
+        let d = diff_manifests(&base, &worse, &Tolerance::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.regressions[0].name, "tabledc/ari");
+
+        let better = manifest(0.95, 0.9, "healthy");
+        let d = diff_manifests(&base, &better, &Tolerance::default());
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn tiny_metric_jitter_is_not_a_regression() {
+        let base = manifest(0.9, 0.8, "healthy");
+        let jitter = manifest(0.88, 0.79, "healthy");
+        let d = diff_manifests(&base, &jitter, &Tolerance::default());
+        assert!(!d.has_regressions(), "{:?}", d.regressions);
+    }
+
+    #[test]
+    fn health_verdict_regression_is_flagged() {
+        let base = manifest(0.9, 0.8, "healthy");
+        let aborted = manifest(0.9, 0.8, "aborted");
+        let d = diff_manifests(&base, &aborted, &Tolerance::default());
+        assert!(d.has_regressions());
+        assert!(d.regressions.iter().any(|r| r.name == "health.rank"));
+        assert!(d.notes.iter().any(|n| n.contains("verdict changed")));
+        // Recovering from aborted to healthy is an improvement, not a
+        // regression.
+        let d = diff_manifests(&aborted, &base, &Tolerance::default());
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn from_json_rejects_missing_sections() {
+        assert!(RunManifest::from_json("{}").is_err());
+        assert!(RunManifest::from_json("not json").is_err());
+        let no_metrics = r#"{"run_id":"a","command":"c","created_unix_ms":1,"git":"g",
+            "seed":1,"scale":"s","epoch_factor":1.0,"env":{},
+            "health":{"policy":"warn","verdict":"healthy","violations":0,"dump_path":null}}"#;
+        assert!(RunManifest::from_json(no_metrics).is_err());
+    }
+
+    #[test]
+    fn new_manifest_captures_tabledc_env() {
+        let m = RunManifest::new("unit test");
+        assert!(m.run_id.starts_with("unit-test-"));
+        assert!(m.env.iter().all(|(k, _)| k.starts_with("TABLEDC_")));
+    }
+}

@@ -96,19 +96,33 @@ impl DiffReport {
 
     /// Human-readable multi-line rendering.
     pub fn render(&self) -> String {
+        self.render_as("perfdiff")
+    }
+
+    /// [`DiffReport::render`] with the reporting tool's name in the
+    /// header/footer lines (`perfdiff`, `runs diff`).
+    pub fn render_as(&self, tool: &str) -> String {
         let mut out = String::new();
-        out.push_str(&format!("perfdiff: {} entries compared\n", self.compared));
+        out.push_str(&format!("{tool}: {} entries compared\n", self.compared));
         if !self.regressions.is_empty() {
             out.push_str("REGRESSIONS:\n");
             for d in &self.regressions {
-                let unit = if d.section == "profile" { "ms" } else { "s" };
+                let unit = match d.section {
+                    "profile" => "ms",
+                    "metric" | "health" => "",
+                    _ => "s",
+                };
                 out.push_str(&format!("  {}\n", d.render(unit)));
             }
         }
         if !self.improvements.is_empty() {
             out.push_str("improvements:\n");
             for d in &self.improvements {
-                let unit = if d.section == "profile" { "ms" } else { "s" };
+                let unit = match d.section {
+                    "profile" => "ms",
+                    "metric" | "health" => "",
+                    _ => "s",
+                };
                 out.push_str(&format!("  {}\n", d.render(unit)));
             }
         }
@@ -116,7 +130,7 @@ impl DiffReport {
             out.push_str(&format!("  note: {n}\n"));
         }
         if self.regressions.is_empty() {
-            out.push_str("perfdiff: ok — no regressions beyond tolerance\n");
+            out.push_str(&format!("{tool}: ok — no regressions beyond tolerance\n"));
         }
         out
     }
@@ -162,13 +176,27 @@ fn section_rows(report: &Json, section: &str) -> Vec<(String, f64)> {
     rows
 }
 
-fn compare_section(
+/// Which direction is "better" for a section's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Smaller is better — wall seconds, phase self-time, health rank.
+    Lower,
+    /// Larger is better — quality metrics (ACC/ARI/NMI in the run ledger).
+    Higher,
+}
+
+/// Compares two keyed row sets under the two-sided test, appending to
+/// `out`. A candidate row regresses when it is worse than baseline by both
+/// the ratio *and* the absolute floor, with "worse" oriented by `better` —
+/// the shared core behind the perf gate and the run-ledger `runs diff`.
+pub fn compare_rows(
     out: &mut DiffReport,
     section: &'static str,
     base_rows: &[(String, f64)],
     cand_rows: &[(String, f64)],
     tol: &Tolerance,
     floor: f64,
+    better: Better,
 ) {
     for (name, base) in base_rows {
         let Some((_, cand)) =
@@ -179,9 +207,15 @@ fn compare_section(
         };
         out.compared += 1;
         let delta = Delta { section, name: name.clone(), base: *base, cand: *cand };
-        if *cand > base * tol.ratio && cand - base > floor {
+        let cand_worse = *cand > base * tol.ratio && cand - base > floor;
+        let cand_better = *base > cand * tol.ratio && base - cand > floor;
+        let (regressed, improved) = match better {
+            Better::Lower => (cand_worse, cand_better),
+            Better::Higher => (cand_better, cand_worse),
+        };
+        if regressed {
             out.regressions.push(delta);
-        } else if *base > cand * tol.ratio && base - cand > floor {
+        } else if improved {
             out.improvements.push(delta);
         }
     }
@@ -207,7 +241,7 @@ pub fn diff(baseline: &Json, candidate: &Json, tol: &Tolerance) -> DiffReport {
             out.notes.push(format!("section {section:?} empty on both sides"));
             continue;
         }
-        compare_section(&mut out, section, &base_rows, &cand_rows, tol, floor);
+        compare_rows(&mut out, section, &base_rows, &cand_rows, tol, floor, Better::Lower);
     }
     out
 }

@@ -30,8 +30,10 @@ impl Autoencoder {
         assert!(dims.len() >= 2, "Autoencoder::new: need at least [input, latent]");
         let mut rev: Vec<usize> = dims.to_vec();
         rev.reverse();
-        let encoder = Mlp::new(params, dims, Activation::Relu, Activation::Linear, rng);
-        let decoder = Mlp::new(params, &rev, Activation::Relu, Activation::Linear, rng);
+        // Named registration labels per-layer gradient-norm telemetry
+        // (`nn.grad_norm.enc.l0.w`, …) and health dumps.
+        let encoder = Mlp::new_named(params, "enc", dims, Activation::Relu, Activation::Linear, rng);
+        let decoder = Mlp::new_named(params, "dec", &rev, Activation::Relu, Activation::Linear, rng);
         Self { encoder, decoder }
     }
 

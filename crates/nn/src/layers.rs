@@ -44,7 +44,7 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a layer with Xavier-uniform weights and zero bias,
-    /// registering its parameters in `params`.
+    /// registering its parameters in `params` under auto-generated names.
     pub fn new(
         params: &mut Params,
         fan_in: usize,
@@ -54,6 +54,22 @@ impl Linear {
     ) -> Self {
         let w = params.register(xavier_uniform(fan_in, fan_out, rng));
         let b = params.register(Matrix::zeros(1, fan_out));
+        Self { w, b, activation, fan_in, fan_out }
+    }
+
+    /// [`Linear::new`] with a telemetry name: the parameters register as
+    /// `<name>.w` / `<name>.b`, which labels per-layer gradient-norm
+    /// histograms and health-dump entries.
+    pub fn new_named(
+        params: &mut Params,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = params.register_named(format!("{name}.w"), xavier_uniform(fan_in, fan_out, rng));
+        let b = params.register_named(format!("{name}.b"), Matrix::zeros(1, fan_out));
         Self { w, b, activation, fan_in, fan_out }
     }
 
@@ -107,6 +123,28 @@ impl Mlp {
             .map(|(i, w)| {
                 let act = if i + 2 == dims.len() { last } else { hidden };
                 Linear::new(params, w[0], w[1], act, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// [`Mlp::new`] with a telemetry name prefix: layer `i` registers its
+    /// parameters as `<prefix>.l<i>.w` / `<prefix>.l<i>.b`.
+    pub fn new_named(
+        params: &mut Params,
+        prefix: &str,
+        dims: &[usize],
+        hidden: Activation,
+        last: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new_named: need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { last } else { hidden };
+                Linear::new_named(params, &format!("{prefix}.l{i}"), w[0], w[1], act, rng)
             })
             .collect();
         Self { layers }

@@ -29,6 +29,131 @@ pub trait Optimizer {
             .collect();
         self.step(params, &pairs);
     }
+
+    /// [`Optimizer::step_from_tape`] with training-health telemetry: the
+    /// step additionally measures per-parameter and global gradient L2
+    /// norms, the update-to-parameter-norm ratio, and whether any gradient
+    /// carried a non-finite entry. See [`instrumented_step`].
+    fn step_from_tape_instrumented(
+        &mut self,
+        params: &mut Params,
+        bound: &BoundParams<'_>,
+        grads: &Gradients,
+    ) -> StepStats
+    where
+        Self: Sized,
+    {
+        let pairs: Vec<(ParamId, Matrix)> = bound
+            .iter()
+            .filter_map(|(id, var)| grads.try_grad(var).map(|g| (id, g.clone())))
+            .collect();
+        instrumented_step(self, params, &pairs)
+    }
+}
+
+/// Numerical-health telemetry of one optimizer step.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Per-parameter L2 gradient norms, in `grads` order.
+    pub grad_norms: Vec<(ParamId, f64)>,
+    /// Global gradient L2 norm across all updated parameters.
+    pub global_grad_norm: f64,
+    /// L2 norm of the updated parameters *before* the step.
+    pub param_norm: f64,
+    /// L2 norm of the applied update `‖θ_new − θ_old‖`.
+    pub update_norm: f64,
+    /// First parameter whose gradient contained a NaN/Inf, if any.
+    pub nonfinite_grad: Option<ParamId>,
+}
+
+impl StepStats {
+    /// Update-to-parameter-norm ratio `‖Δθ‖ / (‖θ‖ + 1e-12)` — the scale-
+    /// free "effective step size" that flags both frozen training (≈0) and
+    /// divergence (≫ learning rate).
+    pub fn update_ratio(&self) -> f64 {
+        self.update_norm / (self.param_norm + 1e-12)
+    }
+
+    /// Records the finite stats into the metrics registry: one
+    /// `nn.grad_norm.<name>` histogram per parameter, plus the global
+    /// `nn.grad_norm` and `nn.update_ratio` histograms. Non-finite values
+    /// are skipped — they are the health monitor's story, not a sample.
+    pub fn record(&self, params: &Params) {
+        let reg = obs::registry();
+        for (id, norm) in &self.grad_norms {
+            if norm.is_finite() {
+                reg.histogram(&format!("nn.grad_norm.{}", params.name(*id))).record(*norm);
+            }
+        }
+        if self.global_grad_norm.is_finite() {
+            reg.histogram("nn.grad_norm").record(self.global_grad_norm);
+        }
+        let ratio = self.update_ratio();
+        if ratio.is_finite() {
+            reg.histogram("nn.update_ratio").record(ratio);
+        }
+    }
+
+    /// Emits one `nn.grad_norm` trace event for this step, carrying the
+    /// global norm and update ratio. Skipped when either value is
+    /// non-finite so every emitted `nn.grad_norm` event has finite numeric
+    /// fields (`trace_check` enforces this).
+    pub fn emit_event(&self, epoch: u64) {
+        let ratio = self.update_ratio();
+        if self.global_grad_norm.is_finite() && ratio.is_finite() {
+            obs::event("nn.grad_norm")
+                .u64("epoch", epoch)
+                .f64("global", self.global_grad_norm)
+                .f64("update_ratio", ratio)
+                .emit();
+        }
+    }
+}
+
+/// Applies one optimizer step while measuring gradient and update norms.
+///
+/// The measurement is three extra passes over the updated parameters
+/// (gradient norms, pre-step parameter snapshot, post-step delta norm) —
+/// negligible next to the backward pass that produced the gradients, so
+/// callers run it unconditionally and the health policy only decides what
+/// to *do* with the numbers.
+pub fn instrumented_step(
+    opt: &mut (impl Optimizer + ?Sized),
+    params: &mut Params,
+    grads: &[(ParamId, Matrix)],
+) -> StepStats {
+    let mut grad_norms = Vec::with_capacity(grads.len());
+    let mut global_sq = 0.0;
+    let mut nonfinite_grad = None;
+    for (id, g) in grads {
+        let sq = g.frobenius_sq();
+        if !sq.is_finite() && nonfinite_grad.is_none() {
+            nonfinite_grad = Some(*id);
+        }
+        grad_norms.push((*id, sq.sqrt()));
+        global_sq += sq;
+    }
+    let before: Vec<(ParamId, Matrix)> =
+        grads.iter().map(|(id, _)| (*id, params.get(*id).clone())).collect();
+    let param_sq: f64 = before.iter().map(|(_, m)| m.frobenius_sq()).sum();
+    opt.step(params, grads);
+    let update_sq: f64 = before
+        .iter()
+        .map(|(id, old)| {
+            old.as_slice()
+                .iter()
+                .zip(params.get(*id).as_slice())
+                .map(|(a, b)| (b - a) * (b - a))
+                .sum::<f64>()
+        })
+        .sum();
+    StepStats {
+        grad_norms,
+        global_grad_norm: global_sq.sqrt(),
+        param_norm: param_sq.sqrt(),
+        update_norm: update_sq.sqrt(),
+        nonfinite_grad,
+    }
 }
 
 /// Plain stochastic gradient descent: `θ ← θ − lr·g`.
@@ -172,5 +297,114 @@ mod tests {
         let mut sgd = Sgd::new(0.5);
         sgd.step(&mut params, &[(w, Matrix::from_rows(&[&[2.0, -4.0]]))]);
         assert_eq!(params.get(w).as_slice(), &[0.0, 3.0]);
+    }
+
+    /// Bias correction pinned against hand-computed moment values for the
+    /// first two steps (β₁ = 0.9, β₂ = 0.999, gradients g₁ = 1, g₂ = 0.5).
+    #[test]
+    fn adam_bias_correction_matches_hand_computation() {
+        let lr = 0.01;
+        let eps = 1e-8;
+        let mut params = Params::new();
+        let w = params.register(Matrix::zeros(1, 1));
+        let mut adam = Adam::new(lr);
+
+        // Step 1: m₁ = 0.1·1, v₁ = 0.001·1; bias-corrected m̂ = v̂ = 1.
+        adam.step(&mut params, &[(w, Matrix::full(1, 1, 1.0))]);
+        let expected1 = -lr * 1.0 / (1.0f64.sqrt() + eps);
+        assert!((params.get(w)[(0, 0)] - expected1).abs() < 1e-12);
+
+        // Step 2 with g = 0.5:
+        //   m₂ = 0.9·0.1 + 0.1·0.5 = 0.14,     m̂ = 0.14 / (1 − 0.9²)
+        //   v₂ = 0.999·0.001 + 0.001·0.25,     v̂ = v₂ / (1 − 0.999²)
+        adam.step(&mut params, &[(w, Matrix::full(1, 1, 0.5))]);
+        let m_hat = 0.14 / (1.0 - 0.9f64.powi(2));
+        let v_hat = (0.999 * 0.001 + 0.001 * 0.25) / (1.0 - 0.999f64.powi(2));
+        let expected2 = expected1 - lr * m_hat / (v_hat.sqrt() + eps);
+        assert!(
+            (params.get(w)[(0, 0)] - expected2).abs() < 1e-12,
+            "w = {}, expected {expected2}",
+            params.get(w)[(0, 0)]
+        );
+    }
+
+    #[test]
+    fn instrumented_step_measures_norms() {
+        let mut params = Params::new();
+        let w = params.register_named("w", Matrix::zeros(1, 2));
+        let mut sgd = Sgd::new(0.5);
+        let stats =
+            instrumented_step(&mut sgd, &mut params, &[(w, Matrix::from_rows(&[&[3.0, 4.0]]))]);
+        assert_eq!(stats.global_grad_norm, 5.0);
+        assert_eq!(stats.grad_norms, vec![(w, 5.0)]);
+        assert_eq!(stats.param_norm, 0.0);
+        // SGD update is −lr·g = (−1.5, −2.0), norm 2.5.
+        assert!((stats.update_norm - 2.5).abs() < 1e-12);
+        assert!(stats.nonfinite_grad.is_none());
+        // Near-zero parameter norm saturates the ratio guard, not a panic.
+        assert!(stats.update_ratio().is_finite());
+    }
+
+    #[test]
+    fn instrumented_step_flags_first_nonfinite_gradient() {
+        let mut params = Params::new();
+        let a = params.register(Matrix::ones(1, 1));
+        let b = params.register(Matrix::ones(1, 1));
+        let mut sgd = Sgd::new(0.1);
+        let stats = instrumented_step(
+            &mut sgd,
+            &mut params,
+            &[(a, Matrix::full(1, 1, 1.0)), (b, Matrix::full(1, 1, f64::NAN))],
+        );
+        assert_eq!(stats.nonfinite_grad, Some(b));
+        assert!(stats.global_grad_norm.is_nan());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Adam keeps per-parameter moment buffers strictly separate: a
+        /// NaN gradient on one parameter never contaminates another
+        /// parameter's moments or value. The poisoned run's healthy
+        /// parameter must track a control optimizer that never saw the
+        /// poisoned one, bit for bit, across several steps.
+        #[test]
+        fn nan_gradient_does_not_contaminate_other_params(
+            healthy_grads in proptest::collection::vec(-10.0..10.0f64, 12),
+            poison_step in 0..4usize,
+        ) {
+            let mut poisoned_params = Params::new();
+            let pa = poisoned_params.register(Matrix::zeros(1, 1));
+            let pb = poisoned_params.register(Matrix::from_rows(&[&[1.0, -2.0, 3.0]]));
+            let mut control_params = Params::new();
+            let _ca = control_params.register(Matrix::zeros(1, 1));
+            let cb = control_params.register(Matrix::from_rows(&[&[1.0, -2.0, 3.0]]));
+
+            let mut poisoned = Adam::new(0.05);
+            let mut control = Adam::new(0.05);
+            for step in 0..4 {
+                let gb = Matrix::from_rows(&[&healthy_grads[step * 3..step * 3 + 3]]);
+                let ga = if step == poison_step { f64::NAN } else { 0.5 };
+                // The poisoned optimizer updates both parameters; the
+                // control updates only the healthy one.
+                poisoned.step(
+                    &mut poisoned_params,
+                    &[(pa, Matrix::full(1, 1, ga)), (pb, gb.clone())],
+                );
+                control.step(&mut control_params, &[(cb, gb)]);
+            }
+            // Both optimizers stepped 4 times, so bias correction agrees;
+            // b's trajectory must be identical despite a's NaN gradient.
+            prop_assert_eq!(
+                poisoned_params.get(pb).as_slice(),
+                control_params.get(cb).as_slice()
+            );
+            // And the poisoned parameter itself is NaN from its step on.
+            prop_assert!(poisoned_params.get(pa)[(0, 0)].is_nan());
+        }
     }
 }

@@ -19,6 +19,7 @@ pub struct ParamId(pub(crate) usize);
 #[derive(Default, Clone)]
 pub struct Params {
     mats: Vec<Matrix>,
+    names: Vec<String>,
 }
 
 impl Params {
@@ -27,10 +28,31 @@ impl Params {
         Self::default()
     }
 
-    /// Registers a parameter, returning its id.
+    /// Registers a parameter under an auto-generated name (`param<i>`),
+    /// returning its id.
     pub fn register(&mut self, value: Matrix) -> ParamId {
+        let name = format!("param{}", self.mats.len());
+        self.register_named(name, value)
+    }
+
+    /// Registers a parameter under an explicit name, returning its id.
+    /// Names label telemetry (`nn.grad_norm.<name>` histograms, health
+    /// violations, diagnostic dumps); they are not required to be unique —
+    /// duplicate names simply share a histogram.
+    pub fn register_named(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         self.mats.push(value);
+        self.names.push(name.into());
         ParamId(self.mats.len() - 1)
+    }
+
+    /// The telemetry name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over all parameter ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.mats.len()).map(ParamId)
     }
 
     /// Number of registered parameters.
@@ -102,6 +124,17 @@ mod tests {
         assert_eq!(p.get(a)[(0, 0)], 1.0);
         p.get_mut(b)[(0, 2)] = 5.0;
         assert_eq!(p.get(b)[(0, 2)], 5.0);
+    }
+
+    #[test]
+    fn names_default_and_explicit() {
+        let mut p = Params::new();
+        let a = p.register(Matrix::ones(1, 1));
+        let b = p.register_named("centers", Matrix::ones(2, 2));
+        assert_eq!(p.name(a), "param0");
+        assert_eq!(p.name(b), "centers");
+        let ids: Vec<ParamId> = p.ids().collect();
+        assert_eq!(ids, vec![a, b]);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * **Allocation tracking** ([`alloc`], opt-in via `TABLEDC_PROFILE=alloc`):
 //!   a tracking `#[global_allocator]` wrapper attributing bytes and
 //!   allocation counts to the innermost active span.
+//! * **Health monitoring** ([`health`]): NaN/Inf scanning over losses,
+//!   gradients, and assignment matrices with a `TABLEDC_HEALTH`
+//!   off/warn/strict policy; violations become `health.*` events and
+//!   process-wide counters, and strict mode tells the training loop to
+//!   abort and dump diagnostics.
 //! * **Event sink** ([`event`]): structured JSON-lines emission controlled
 //!   by the `TABLEDC_TRACE` environment variable. Unset ⇒ disabled, and
 //!   every [`event`] call collapses to one relaxed atomic load (no
@@ -36,6 +41,7 @@
 //! `runtime` crate (asserted by tests there).
 
 pub mod alloc;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod profile;
@@ -43,6 +49,7 @@ mod registry;
 mod sink;
 mod span;
 
+pub use health::{HealthMonitor, HealthReport};
 pub use hist::Histogram;
 pub use profile::folded;
 pub use registry::{registry, Counter, Gauge, Hist, Registry, Snapshot};

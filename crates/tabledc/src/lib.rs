@@ -54,7 +54,7 @@ pub mod model;
 pub use distance::{Covariance, Distance};
 pub use init::Init;
 pub use kernel::Kernel;
-pub use model::{target_distribution, History, TableDc, TableDcConfig, TableDcFit};
+pub use model::{target_distribution, HealthConfig, History, TableDc, TableDcConfig, TableDcFit};
 
 #[cfg(test)]
 mod proptests {

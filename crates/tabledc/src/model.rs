@@ -1,10 +1,14 @@
 //! The TableDC model: autoencoder + Mahalanobis/Cauchy self-supervised
 //! clustering head, trained per Algorithm 1.
 
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use autograd::Tape;
 use clustering::metrics::num_clusters;
 use nn::loss::{kl_div, kl_div_value, mse};
 use nn::{Adam, Autoencoder, Optimizer, ParamId, Params};
+use obs::health::{HealthMonitor, HealthReport, Policy, Verdict};
 use rand::rngs::StdRng;
 use tensor::Matrix;
 
@@ -44,6 +48,32 @@ pub struct TableDcConfig {
     pub lr: f64,
     /// Division-by-zero guard ε of Eq. 8.
     pub eps: f64,
+    /// Training-health monitoring: NaN/Inf policy, diagnostic-dump
+    /// location, and fault injection for tests.
+    pub health: HealthConfig,
+}
+
+/// Health-monitoring knobs of a TableDC run.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Explicit policy override; `None` reads `TABLEDC_HEALTH`
+    /// (off/warn/strict, defaulting to warn).
+    pub policy: Option<Policy>,
+    /// Directory diagnostic dumps are written to on a strict-policy abort.
+    pub dump_dir: String,
+    /// The run's base RNG seed, recorded in dumps so an abort is
+    /// reproducible. Metadata only — it never feeds the RNG.
+    pub run_seed: Option<u64>,
+    /// Fault injection: at the start of this epoch, poison the first
+    /// cluster-center entry with NaN. In [`TableDc::fit_best_of`] only the
+    /// *first* restart is poisoned, so best-of-N recovery is testable.
+    pub nan_epoch: Option<usize>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self { policy: None, dump_dir: "results/dumps".to_string(), run_seed: None, nan_epoch: None }
+    }
 }
 
 impl TableDcConfig {
@@ -61,6 +91,7 @@ impl TableDcConfig {
             epochs: 100,
             lr: 1e-3,
             eps: 1e-10,
+            health: HealthConfig::default(),
         }
     }
 
@@ -87,6 +118,10 @@ pub struct History {
     /// (a monotonic-clock read per epoch), independent of whether the
     /// `TABLEDC_TRACE` event sink is active.
     pub epoch_ms: Vec<f64>,
+    /// Global gradient L2 norm per epoch (across all parameters).
+    pub grad_norm: Vec<f64>,
+    /// Update-to-parameter-norm ratio `‖Δθ‖/‖θ‖` per epoch.
+    pub update_ratio: Vec<f64>,
 }
 
 /// A fitted TableDC model.
@@ -109,6 +144,11 @@ pub struct TableDcFit {
     pub history: History,
     /// Number of distinct clusters actually used in `labels`.
     pub clusters_used: usize,
+    /// Numerical-health verdict of the training run. When the policy is
+    /// `strict` and a NaN/Inf was detected, `health.verdict` is
+    /// [`Verdict::Aborted`], training stopped at that epoch, and
+    /// `health.dump_path` names the diagnostic dump.
+    pub health: HealthReport,
 }
 
 impl TableDc {
@@ -139,7 +179,7 @@ impl TableDc {
         // initializer) on the pretrained latent space.
         let z0 = ae.embed(&params, x);
         let c0 = config.init.centers(&z0, config.k, rng);
-        let centers = params.register(c0);
+        let centers = params.register_named("centers", c0);
 
         let mut model = TableDc { config, params, ae, centers };
         let fit = model.train(x);
@@ -162,8 +202,24 @@ impl TableDc {
     ) -> (TableDc, TableDcFit) {
         assert!(restarts >= 1, "fit_best_of: need at least one restart");
         let mut best: Option<(f64, usize, TableDc, TableDcFit)> = None;
+        let mut last_aborted: Option<(TableDc, TableDcFit)> = None;
         for restart in 0..restarts {
-            let (model, fit) = TableDc::fit(config.clone(), x, rng);
+            let mut cfg = config.clone();
+            if restart > 0 {
+                // Fault injection targets only the first restart (see
+                // [`HealthConfig::nan_epoch`]) so recovery is observable.
+                cfg.health.nan_epoch = None;
+            }
+            let (model, fit) = TableDc::fit(cfg, x, rng);
+            if fit.health.verdict == Verdict::Aborted {
+                // A poisoned restart never competes for the best model.
+                obs::event("tabledc.restart_skipped")
+                    .u64("restart", restart as u64)
+                    .str("verdict", fit.health.verdict.as_str())
+                    .emit();
+                last_aborted = Some((model, fit));
+                continue;
+            }
             let z = model.embed(x);
             let score = clustering::internal::silhouette_score(&z, &fit.labels);
             obs::event("tabledc.restart")
@@ -175,13 +231,19 @@ impl TableDc {
                 best = Some((score, restart, model, fit));
             }
         }
-        let (score, winner, model, fit) = best.expect("at least one restart ran");
-        obs::event("tabledc.restart_winner")
-            .u64("restart", winner as u64)
-            .u64("restarts", restarts as u64)
-            .f64("silhouette", score)
-            .emit();
-        (model, fit)
+        match best {
+            Some((score, winner, model, fit)) => {
+                obs::event("tabledc.restart_winner")
+                    .u64("restart", winner as u64)
+                    .u64("restarts", restarts as u64)
+                    .f64("silhouette", score)
+                    .emit();
+                (model, fit)
+            }
+            // Every restart aborted: hand back the last one so callers can
+            // inspect `fit.health` (verdict, dump path) instead of panicking.
+            None => last_aborted.expect("at least one restart ran"),
+        }
     }
 
     /// Lines 3–12 of Algorithm 1: the joint optimization loop.
@@ -194,9 +256,19 @@ impl TableDc {
         let mut final_m = Matrix::zeros(x.rows(), cfg.k);
         let mut prev_labels: Option<Vec<usize>> = None;
         let epoch_hist = obs::registry().histogram("tabledc.epoch_ms");
+        let mut monitor = match cfg.health.policy {
+            Some(p) => HealthMonitor::new(p),
+            None => HealthMonitor::from_env(),
+        };
 
         for epoch in 0..cfg.epochs {
             let epoch_start = std::time::Instant::now();
+            if cfg.health.nan_epoch == Some(epoch) {
+                // Fault injection (tests/diagnostics): poison one center
+                // entry; the NaN propagates through d², q, and the losses
+                // exactly like a real divergence would.
+                self.params.get_mut(self.centers)[(0, 0)] = f64::NAN;
+            }
             let tape = Tape::new();
             let bound = self.params.bind(&tape);
             let xv = tape.constant(x.clone());
@@ -234,13 +306,51 @@ impl TableDc {
             let ce_val = tape.value(ce)[(0, 0)];
             let re_val = tape.value(re)[(0, 0)];
             let kl_pq_val = kl_div_value(&p, &q_val);
+
+            // Health checks run before the history pushes and the update so
+            // a strict-policy abort leaves neither a poisoned history entry
+            // nor a poisoned optimizer state behind.
+            let mut abort_tensor: Option<String> = None;
+            for (name, v) in [("re_loss", re_val), ("ce_loss", ce_val), ("kl_pq", kl_pq_val)] {
+                if monitor.check_scalar(name, v, epoch as u64).should_abort() {
+                    abort_tensor = Some(name.to_string());
+                    break;
+                }
+            }
+            if abort_tensor.is_none()
+                && monitor.check_slice("q", q_val.as_slice(), epoch as u64).should_abort()
+            {
+                abort_tensor = Some("q".to_string());
+            }
+            if let Some(tensor) = abort_tensor {
+                self.abort_epoch(&mut monitor, &history, &tensor, epoch);
+                break;
+            }
+
+            // Line 11: backprop and update, instrumented with gradient and
+            // update-norm telemetry.
+            let grads = tape.backward(loss);
+            let stats = adam.step_from_tape_instrumented(&mut self.params, &bound, &grads);
+            if let Some(id) = stats.nonfinite_grad {
+                let tensor = format!("grad.{}", self.params.name(id));
+                let norm = stats
+                    .grad_norms
+                    .iter()
+                    .find(|(i, _)| *i == id)
+                    .map_or(f64::NAN, |&(_, n)| n);
+                if monitor.check_scalar(&tensor, norm, epoch as u64).should_abort() {
+                    self.abort_epoch(&mut monitor, &history, &tensor, epoch);
+                    break;
+                }
+            }
+            stats.record(&self.params);
+            stats.emit_event(epoch as u64);
+
             history.ce_loss.push(ce_val);
             history.re_loss.push(re_val);
             history.kl_pq.push(kl_pq_val);
-
-            // Line 11: backprop and update.
-            let grads = tape.backward(loss);
-            adam.step_from_tape(&mut self.params, &bound, &grads);
+            history.grad_norm.push(stats.global_grad_norm);
+            history.update_ratio.push(stats.update_ratio());
 
             // Per-epoch telemetry: the convergence signal behind Figure 5
             // plus the delta-label fraction DEC-style methods stop on.
@@ -264,6 +374,8 @@ impl TableDc {
                 .f64("ce_loss", ce_val)
                 .f64("kl_pq", kl_pq_val)
                 .f64("delta_label_frac", delta_label_frac)
+                .f64("grad_norm", stats.global_grad_norm)
+                .f64("update_ratio", stats.update_ratio())
                 .f64("epoch_ms", epoch_ms)
                 .emit();
 
@@ -280,7 +392,24 @@ impl TableDc {
 
         let labels = final_q.argmax_rows();
         let clusters_used = num_clusters(&labels);
-        TableDcFit { labels, q: final_q, m: final_m, history, clusters_used }
+        TableDcFit { labels, q: final_q, m: final_m, history, clusters_used, health: monitor.report() }
+    }
+
+    /// Strict-policy abort path: writes the diagnostic dump, emits the
+    /// `health.abort` event followed by the `health.dump` event naming the
+    /// dump file (an invariant `trace_check` enforces), and marks the
+    /// monitor aborted. The caller breaks out of the epoch loop.
+    fn abort_epoch(&self, monitor: &mut HealthMonitor, history: &History, tensor: &str, epoch: usize) {
+        let path = write_health_dump(&self.config, &self.params, monitor, history, tensor, epoch);
+        if let Some(p) = &path {
+            obs::event("health.abort")
+                .str("tensor", tensor)
+                .u64("epoch", epoch as u64)
+                .str("policy", monitor.policy().as_str())
+                .emit();
+            obs::event("health.dump").str("path", p).emit();
+        }
+        monitor.mark_aborted(path);
     }
 
     /// Row-block size for batched inference. Fixed (never derived from the
@@ -361,6 +490,110 @@ impl TableDc {
     pub fn config(&self) -> &TableDcConfig {
         &self.config
     }
+}
+
+/// Monotone counter making dump filenames unique within a process even
+/// when two aborts land in the same millisecond.
+static DUMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes a strict-abort diagnostic dump: offending tensor, policy, seed,
+/// config summary, recorded violations, per-parameter L2 norms, and the
+/// last 8 epochs of metric history. Returns the path, or `None` if neither
+/// the configured dump dir nor the system temp dir is writable.
+fn write_health_dump(
+    config: &TableDcConfig,
+    params: &Params,
+    monitor: &HealthMonitor,
+    history: &History,
+    tensor: &str,
+    epoch: usize,
+) -> Option<String> {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"tensor\": ");
+    obs::json::escape_into(&mut out, tensor);
+    let _ = write!(out, ",\n  \"epoch\": {epoch},\n  \"policy\": ");
+    obs::json::escape_into(&mut out, monitor.policy().as_str());
+    out.push_str(",\n  \"seed\": ");
+    match config.health.run_seed {
+        Some(s) => {
+            let _ = write!(out, "{s}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\n  \"config\": {{\"k\": {}, \"latent_dim\": {}, \"alpha\": ",
+        config.k, config.latent_dim
+    );
+    obs::json::number_into(&mut out, config.alpha);
+    out.push_str(", \"lr\": ");
+    obs::json::number_into(&mut out, config.lr);
+    let _ = write!(
+        out,
+        ", \"pretrain_epochs\": {}, \"epochs\": {}}},\n  \"violations\": [",
+        config.pretrain_epochs, config.epochs
+    );
+    for (i, v) in monitor.violations().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("\n    {\"tensor\": ");
+        obs::json::escape_into(&mut out, &v.tensor);
+        out.push_str(", \"kind\": ");
+        obs::json::escape_into(&mut out, v.kind);
+        let _ = write!(out, ", \"index\": {}, \"epoch\": {}}}", v.index, v.epoch);
+    }
+    out.push_str("\n  ],\n  \"param_norms\": {");
+    for (i, id) in params.ids().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("\n    ");
+        obs::json::escape_into(&mut out, params.name(id));
+        out.push_str(": ");
+        obs::json::number_into(&mut out, params.get(id).frobenius_sq().sqrt());
+    }
+    out.push_str("\n  },\n  \"recent\": {");
+    let series: [(&str, &[f64]); 5] = [
+        ("re_loss", &history.re_loss),
+        ("ce_loss", &history.ce_loss),
+        ("kl_pq", &history.kl_pq),
+        ("grad_norm", &history.grad_norm),
+        ("update_ratio", &history.update_ratio),
+    ];
+    for (i, (name, values)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("\n    ");
+        obs::json::escape_into(&mut out, name);
+        out.push_str(": [");
+        let tail = &values[values.len().saturating_sub(8)..];
+        for (j, v) in tail.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            obs::json::number_into(&mut out, *v);
+        }
+        out.push(']');
+    }
+    out.push_str("\n  }\n}\n");
+
+    let ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let seq = DUMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file = format!("dump-{ms}-{seq}.json");
+    for dir in [std::path::PathBuf::from(&config.health.dump_dir), std::env::temp_dir()] {
+        if std::fs::create_dir_all(&dir).is_err() {
+            continue;
+        }
+        let path = dir.join(&file);
+        if std::fs::write(&path, &out).is_ok() {
+            return Some(path.to_string_lossy().into_owned());
+        }
+    }
+    None
 }
 
 /// The target distribution `p` (Eq. 11 with the standard DEC row
@@ -485,6 +718,12 @@ mod tests {
         assert_eq!(fit.history.ce_loss.len(), epochs);
         assert_eq!(fit.history.kl_pq.len(), epochs);
         assert_eq!(fit.history.epoch_ms.len(), epochs);
+        assert_eq!(fit.history.grad_norm.len(), epochs);
+        assert_eq!(fit.history.update_ratio.len(), epochs);
+        assert!(fit.history.grad_norm.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(fit.history.update_ratio.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert_eq!(fit.health.verdict, Verdict::Healthy);
+        assert_eq!(fit.health.total_violations, 0);
     }
 
     #[test]
@@ -528,7 +767,17 @@ mod tests {
         assert_eq!(epoch_lines.len(), traced.1.history.re_loss.len());
         for line in epoch_lines {
             let v = obs::json::parse(line).expect("valid JSON line");
-            for key in ["ts_ms", "epoch", "re_loss", "ce_loss", "kl_pq", "delta_label_frac", "epoch_ms"] {
+            for key in [
+                "ts_ms",
+                "epoch",
+                "re_loss",
+                "ce_loss",
+                "kl_pq",
+                "delta_label_frac",
+                "grad_norm",
+                "update_ratio",
+                "epoch_ms",
+            ] {
                 assert!(v.get(key).is_some(), "missing {key} in {line}");
             }
             let delta = v.get("delta_label_frac").unwrap().as_f64().unwrap();
@@ -559,6 +808,107 @@ mod tests {
             .collect();
         let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(winner.get("silhouette").unwrap().as_f64().unwrap(), best);
+    }
+
+    fn strict_health(dir: &std::path::Path, nan_epoch: usize) -> HealthConfig {
+        HealthConfig {
+            policy: Some(Policy::Strict),
+            dump_dir: dir.to_string_lossy().into_owned(),
+            run_seed: Some(99),
+            nan_epoch: Some(nan_epoch),
+        }
+    }
+
+    fn temp_dump_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tabledc-dumps-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn strict_policy_aborts_on_injected_nan_and_writes_dump() {
+        let (x, _) = workload(21);
+        let dir = temp_dump_dir("abort");
+        let nan_epoch = 10;
+        let mut cfg = small_config(4);
+        cfg.health = strict_health(&dir, nan_epoch);
+        let ((_, fit), lines) = obs::test_support::with_memory_sink(|| {
+            TableDc::fit(cfg, &x, &mut rng(22))
+        });
+
+        // Aborted within the poisoned epoch: only the healthy epochs before
+        // it are in the history, and the verdict says so.
+        assert_eq!(fit.health.verdict, Verdict::Aborted);
+        assert_eq!(fit.history.re_loss.len(), nan_epoch);
+        assert_eq!(fit.history.grad_norm.len(), nan_epoch);
+        assert!(fit.health.total_violations >= 1);
+        let first = &fit.health.violations[0];
+        assert_eq!(first.epoch, nan_epoch as u64);
+
+        // The dump exists, is valid JSON, and names the offending tensor.
+        let dump = fit.health.dump_path.clone().expect("dump written on strict abort");
+        let text = std::fs::read_to_string(&dump).expect("dump file readable");
+        let v = obs::json::parse(&text).expect("dump is valid JSON");
+        assert_eq!(v.get("tensor").unwrap().as_str().unwrap(), first.tensor);
+        assert_eq!(v.get("epoch").unwrap().as_f64().unwrap(), nan_epoch as f64);
+        assert_eq!(v.get("policy").unwrap().as_str().unwrap(), "strict");
+        assert_eq!(v.get("seed").unwrap().as_f64().unwrap(), 99.0);
+        assert!(v.get("param_norms").unwrap().get("centers").is_some());
+
+        // Trace invariant: health.abort is followed by health.dump.
+        let abort_idx = lines.iter().position(|l| l.contains("\"health.abort\""));
+        let dump_idx = lines.iter().position(|l| l.contains("\"health.dump\""));
+        assert!(abort_idx.is_some() && dump_idx.is_some());
+        assert!(abort_idx < dump_idx, "health.abort must precede health.dump");
+
+        std::fs::remove_file(&dump).ok();
+    }
+
+    #[test]
+    fn warn_policy_records_violations_but_completes() {
+        let (x, _) = workload(25);
+        let mut cfg = TableDcConfig { pretrain_epochs: 3, epochs: 8, ..small_config(4) };
+        cfg.health = HealthConfig {
+            policy: Some(Policy::Warn),
+            nan_epoch: Some(2),
+            ..HealthConfig::default()
+        };
+        let epochs = cfg.epochs;
+        let (_, fit) = TableDc::fit(cfg, &x, &mut rng(26));
+        assert_eq!(fit.health.verdict, Verdict::Warned);
+        assert!(fit.health.total_violations >= 1);
+        assert!(fit.health.dump_path.is_none(), "warn policy never dumps");
+        // The run completed all epochs despite the poison.
+        assert_eq!(fit.history.re_loss.len(), epochs);
+    }
+
+    #[test]
+    fn fit_best_of_skips_poisoned_restart_and_returns_healthy_winner() {
+        let (x, _) = workload(27);
+        let dir = temp_dump_dir("bestof");
+        let mut cfg = TableDcConfig { pretrain_epochs: 3, epochs: 5, ..small_config(4) };
+        cfg.health = strict_health(&dir, 0);
+        let ((_, fit), lines) = obs::test_support::with_memory_sink(|| {
+            TableDc::fit_best_of(cfg, &x, 3, &mut rng(28))
+        });
+        // Restart 0 was poisoned and skipped; the winner is healthy.
+        assert_eq!(fit.health.verdict, Verdict::Healthy);
+        let skipped: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"tabledc.restart_skipped\"")).collect();
+        assert_eq!(skipped.len(), 1);
+        let healthy: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"tabledc.restart\"")).collect();
+        assert_eq!(healthy.len(), 2, "two healthy restarts compete");
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"tabledc.restart_winner\"")).count(),
+            1
+        );
+        if let Some(p) = lines
+            .iter()
+            .find(|l| l.contains("\"health.dump\""))
+            .and_then(|l| obs::json::parse(l).ok())
+            .and_then(|v| v.get("path").and_then(|p| p.as_str().map(String::from)))
+        {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

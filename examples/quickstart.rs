@@ -12,7 +12,8 @@
 //! allocation columns; `TABLEDC_FOLDED=<path>` writes the tree in
 //! folded-stack format for flamegraph tooling.
 
-use clustering::metrics::{accuracy, adjusted_rand_index};
+use bench::ledger::{HealthSummary, LedgerHistory, RunManifest};
+use clustering::metrics::{accuracy, adjusted_rand_index, normalized_mutual_info};
 use clustering::KMeans;
 use datagen::{generate_mixture, MixtureConfig};
 use tabledc::{TableDc, TableDcConfig};
@@ -44,15 +45,38 @@ fn main() {
     );
 
     // TableDC: autoencoder + Birch init + Mahalanobis/Cauchy self-
-    // supervision (paper defaults).
-    let config = TableDcConfig { epochs: 80, pretrain_epochs: 30, ..TableDcConfig::new(8) };
-    let (model, fit) = TableDc::fit(config, &data.x, &mut rng(2));
+    // supervision (paper defaults). The fit seed is recorded in the health
+    // config so a strict-policy diagnostic dump can name it.
+    let seed = 2;
+    let mut config = TableDcConfig { epochs: 80, pretrain_epochs: 30, ..TableDcConfig::new(8) };
+    config.health.run_seed = Some(seed);
+    let (model, fit) = TableDc::fit(config, &data.x, &mut rng(seed));
     println!(
         "TableDC  ARI {:.3}  ACC {:.3}  (clusters used: {})",
         adjusted_rand_index(&fit.labels, &data.labels),
         accuracy(&fit.labels, &data.labels),
         fit.clusters_used
     );
+    println!("health: {} ({} violations)", fit.health.verdict.as_str(), fit.health.total_violations);
+
+    // Persist the run into the ledger (`runs list` / `runs diff`).
+    let mut manifest = RunManifest::new("quickstart");
+    manifest.seed = seed;
+    manifest.scale = "quickstart".to_string();
+    manifest.health = HealthSummary::from_report(&fit.health);
+    manifest.metrics = vec![
+        ("tabledc/ari".to_string(), adjusted_rand_index(&fit.labels, &data.labels)),
+        ("tabledc/acc".to_string(), accuracy(&fit.labels, &data.labels)),
+        ("tabledc/nmi".to_string(), normalized_mutual_info(&fit.labels, &data.labels)),
+        ("kmeans/ari".to_string(), adjusted_rand_index(&km.labels, &data.labels)),
+        ("kmeans/acc".to_string(), accuracy(&km.labels, &data.labels)),
+        ("kmeans/nmi".to_string(), normalized_mutual_info(&km.labels, &data.labels)),
+    ];
+    manifest.history = LedgerHistory::from_history(&fit.history);
+    match manifest.write() {
+        Ok(path) => println!("run manifest: {path}"),
+        Err(e) => eprintln!("failed to write run manifest: {e}"),
+    }
 
     // The model supports out-of-sample assignment.
     let fresh = generate_mixture(

@@ -1,6 +1,7 @@
 #!/bin/bash
 # Tier-1 verification gate plus a serial-vs-parallel runtime smoke, a
-# traced-run observability smoke, and a perf-regression gate.
+# traced-run observability smoke, a training-health/ledger gate, and a
+# perf-regression gate.
 #
 #   1. cargo build --release && cargo test -q   (the repo's tier-1 gate)
 #   2. par_smoke example: times sq_euclidean_cdist on a 2000x128 matrix on
@@ -8,16 +9,25 @@
 #      bit-identical, and fails if the parallel run is >1.5x slower than
 #      serial.
 #   3. quickstart under TABLEDC_TRACE=<file> + TABLEDC_PROFILE=alloc +
-#      TABLEDC_FOLDED=<file>: the emitted trace must be valid JSON lines
-#      with monotone timestamps and balanced per-thread spans (checked by
-#      the trace_check binary) and contain the per-epoch training events;
-#      the folded-stack export must be non-empty and rooted at
-#      tabledc.fit.
-#   4. repro table2 compared against the committed
+#      TABLEDC_FOLDED=<file> + TABLEDC_HEALTH=strict: the emitted trace
+#      must be valid JSON lines with monotone timestamps, balanced
+#      per-thread spans, finite nn.grad_norm telemetry, and the per-epoch
+#      training events (checked by the trace_check binary, which also
+#      enforces the health.abort -> health.dump contract); the run must be
+#      violation-free under the strict policy; the folded-stack export
+#      must be non-empty and rooted at tabledc.fit.
+#   4. run-ledger gate: the quickstart run must write a well-formed
+#      manifest (healthy verdict, zero violations); `runs diff` of that
+#      manifest against itself must pass (exit 0) and the committed
+#      fixture pair (baseline vs doctored metric drop + aborted verdict)
+#      must fail (exit 1).
+#   5. repro table2 compared against the committed
 #      results/BENCH_baseline.json with perfdiff: per-experiment and
 #      per-method wall times and per-phase profile self-times must stay
 #      within TABLEDC_PERF_TOL (default 1.5x, plus absolute floors so
-#      near-zero phases never flake the gate).
+#      near-zero phases never flake the gate). Runs with TABLEDC_HEALTH=off
+#      to confirm the telemetry layer adds no gated cost even when health
+#      checking is disabled.
 #
 # Usage: results/verify.sh   (from anywhere; cd's to the repo root)
 set -e
@@ -34,24 +44,48 @@ echo "== runtime smoke: serial vs parallel cdist =="
 # example still applies its slowdown gate.
 TABLEDC_THREADS=${TABLEDC_THREADS:-4} cargo run --release -q -p bench --example par_smoke
 
-echo "== observability smoke: traced + profiled quickstart =="
+echo "== observability smoke: traced + profiled quickstart under strict health =="
 trace_file=$(mktemp /tmp/tabledc_trace.XXXXXX.jsonl)
 folded_file=$(mktemp /tmp/tabledc_folded.XXXXXX.txt)
 perf_file=$(mktemp /tmp/tabledc_perf.XXXXXX.json)
-trap 'rm -f "$trace_file" "$folded_file" "$perf_file"' EXIT
-TABLEDC_TRACE="$trace_file" TABLEDC_PROFILE=alloc TABLEDC_FOLDED="$folded_file" \
-    cargo run --release -q -p bench --example quickstart > /dev/null
+runs_dir=$(mktemp -d /tmp/tabledc_runs.XXXXXX)
+trap 'rm -f "$trace_file" "$folded_file" "$perf_file"; rm -rf "$runs_dir"' EXIT
+quickstart_out=$(TABLEDC_TRACE="$trace_file" TABLEDC_PROFILE=alloc TABLEDC_FOLDED="$folded_file" \
+    TABLEDC_HEALTH=strict TABLEDC_RUNS_DIR="$runs_dir" \
+    cargo run --release -q -p bench --example quickstart)
 cargo run --release -q -p bench --bin trace_check -- "$trace_file" \
-    ae.pretrain_epoch tabledc.epoch span.enter span.exit
+    ae.pretrain_epoch tabledc.epoch nn.grad_norm span.enter span.exit
 test -s "$folded_file" || { echo "folded export is empty"; exit 1; }
 grep -q '^tabledc\.fit;' "$folded_file" \
     || { echo "folded export has no tabledc.fit subtree"; cat "$folded_file"; exit 1; }
+echo "$quickstart_out" | grep -q 'health: healthy (0 violations)' \
+    || { echo "quickstart was not violation-free under strict health"; echo "$quickstart_out"; exit 1; }
 
-echo "== perf gate: repro table2 vs committed baseline =="
+echo "== run-ledger gate: manifest + runs diff =="
+manifest=$(ls "$runs_dir"/quickstart-*.json 2>/dev/null | head -1)
+test -n "$manifest" || { echo "quickstart wrote no run manifest in $runs_dir"; exit 1; }
+grep -q '"verdict": "healthy"' "$manifest" \
+    || { echo "manifest verdict is not healthy"; cat "$manifest"; exit 1; }
+grep -q '"violations": 0' "$manifest" \
+    || { echo "manifest records violations"; cat "$manifest"; exit 1; }
+# `runs show` re-parses the manifest; any schema breakage exits 2 here.
+cargo run --release -q -p bench --bin runs -- show "$manifest" > /dev/null
+cargo run --release -q -p bench --bin runs -- diff "$manifest" "$manifest"
+set +e
+cargo run --release -q -p bench --bin runs -- \
+    diff results/runs/fixture-baseline.json results/runs/fixture-regressed.json
+fixture_rc=$?
+set -e
+test "$fixture_rc" -eq 1 \
+    || { echo "expected runs diff exit 1 on the doctored fixture, got $fixture_rc"; exit 1; }
+
+echo "== perf gate: repro table2 vs committed baseline (health checks off) =="
 # --epoch-factor 0.35 matches how results/BENCH_baseline.json was
 # generated (and the committed repro_all practice) — the gate compares
-# like with like and stays fast enough to run on every verify.
-cargo run --release -q -p bench --bin repro -- table2 --epoch-factor 0.35 \
+# like with like and stays fast enough to run on every verify. The run's
+# own manifest goes to the scratch runs dir, not the committed fixtures.
+TABLEDC_HEALTH=off TABLEDC_RUNS_DIR="$runs_dir" \
+    cargo run --release -q -p bench --bin repro -- table2 --epoch-factor 0.35 \
     --out "$perf_file" > /dev/null
 cargo run --release -q -p bench --bin perfdiff -- \
     results/BENCH_baseline.json "$perf_file" --tolerance "${TABLEDC_PERF_TOL:-1.5}"
