@@ -11,6 +11,7 @@
 use autograd::{Tape, Var};
 use nn::Params;
 use rand::rngs::StdRng;
+use tabledc::diagnostics::{self, ConvergenceVerdict, DiagnosticsTracker, VerdictRules};
 use tensor::Matrix;
 
 /// Hyper-parameters shared by the deep baselines.
@@ -53,43 +54,98 @@ pub struct ClusterOutput {
     pub kl_pq: Vec<f64>,
     /// Numerical-health verdict of the run (policy from `TABLEDC_HEALTH`).
     pub health: obs::HealthReport,
+    /// Structural convergence verdict (shared rules with TableDC).
+    pub convergence: ConvergenceVerdict,
 }
 
 impl ClusterOutput {
     /// Output with labels only.
     pub fn from_labels(labels: Vec<usize>) -> Self {
-        Self { labels, re_loss: Vec::new(), kl_pq: Vec::new(), health: obs::HealthReport::default() }
+        Self {
+            labels,
+            re_loss: Vec::new(),
+            kl_pq: Vec::new(),
+            health: obs::HealthReport::default(),
+            convergence: ConvergenceVerdict::default(),
+        }
     }
 }
 
-/// Per-epoch telemetry + health checking shared by the deep baselines:
-/// emits one `baseline.epoch` event and checks each loss scalar against the
-/// monitor's policy. Returns [`Abort`](obs::health::Action::Abort) when a
-/// strict-policy violation was found — the baseline then stops its epoch
-/// loop (baselines record the violation but do not write diagnostic dumps;
-/// those are TableDC's own abort path).
-pub fn epoch_health(
-    monitor: &mut obs::HealthMonitor,
-    method: &str,
-    epoch: usize,
-    re_loss: f64,
-    kl_pq: f64,
-    loss: f64,
-) -> obs::health::Action {
-    obs::event("baseline.epoch")
-        .str("method", method)
-        .u64("epoch", epoch as u64)
-        .f64("re_loss", re_loss)
-        .f64("kl_pq", kl_pq)
-        .f64("loss", loss)
-        .emit();
-    for (name, v) in [("re_loss", re_loss), ("kl_pq", kl_pq), ("loss", loss)] {
-        let action = monitor.check_scalar(&format!("{method}.{name}"), v, epoch as u64);
-        if action.should_abort() {
-            return action;
+/// Per-epoch telemetry shared by the deep baselines: one `baseline.epoch`
+/// event, NaN/Inf health checks on the loss scalars, and the structural
+/// diagnostics (`baseline.diag` events + churn/share/margin tracking) the
+/// convergence verdict is rendered from. One observer per fit; every event
+/// carries the observer's process-unique `fit` id so `trace_check` can
+/// verify per-fit epoch monotonicity.
+pub struct EpochObserver {
+    method: &'static str,
+    fit_id: u64,
+    k: usize,
+    monitor: obs::HealthMonitor,
+    tracker: DiagnosticsTracker,
+}
+
+impl EpochObserver {
+    /// A fresh observer for one `method` fit into `k` clusters (health
+    /// policy from `TABLEDC_HEALTH`).
+    pub fn new(method: &'static str, k: usize) -> Self {
+        Self {
+            method,
+            fit_id: diagnostics::next_fit_id(),
+            k,
+            monitor: obs::HealthMonitor::from_env(),
+            tracker: DiagnosticsTracker::new(),
         }
     }
-    obs::health::Action::Continue
+
+    /// Records one epoch: emits `baseline.epoch`, checks each loss scalar
+    /// against the monitor's policy, and — when the epoch is healthy —
+    /// observes the soft-assignment matrix `q` for structural diagnostics
+    /// and emits `baseline.diag`. Returns
+    /// [`Abort`](obs::health::Action::Abort) when a strict-policy
+    /// violation was found — the baseline then stops its epoch loop
+    /// (baselines record the violation but do not write diagnostic dumps;
+    /// those are TableDC's own abort path).
+    pub fn observe(
+        &mut self,
+        epoch: usize,
+        re_loss: f64,
+        kl_pq: f64,
+        loss: f64,
+        q: &Matrix,
+    ) -> obs::health::Action {
+        obs::event("baseline.epoch")
+            .str("method", self.method)
+            .u64("fit", self.fit_id)
+            .u64("epoch", epoch as u64)
+            .f64("re_loss", re_loss)
+            .f64("kl_pq", kl_pq)
+            .f64("loss", loss)
+            .emit();
+        for (name, v) in [("re_loss", re_loss), ("kl_pq", kl_pq), ("loss", loss)] {
+            let action = self.monitor.check_scalar(&format!("{}.{name}", self.method), v, epoch as u64);
+            if action.should_abort() {
+                return action;
+            }
+        }
+        let diag = self.tracker.observe(q, None);
+        diagnostics::emit_diag_event("baseline.diag", Some(self.method), self.fit_id, &diag);
+        diagnostics::record_series(&format!("{}.diag", self.method), &diag);
+        obs::health::Action::Continue
+    }
+
+    /// Closes the fit: the health report and the convergence verdict.
+    pub fn finish(self) -> (obs::HealthReport, ConvergenceVerdict) {
+        let verdict = self.tracker.verdict(self.k, &VerdictRules::default());
+        obs::event("baseline.convergence")
+            .str("method", self.method)
+            .u64("fit", self.fit_id)
+            .str("status", verdict.status.as_str())
+            .i64("epoch", verdict.epoch.map_or(-1, |e| e as i64))
+            .str("rule", &verdict.rule)
+            .emit();
+        (self.monitor.report(), verdict)
+    }
 }
 
 /// Student's-t soft assignments between latent points and centers with the
@@ -151,6 +207,54 @@ mod tests {
         let c = t.leaf(Matrix::from_rows(&[&[0.5, 0.0], &[5.0, 0.0]]));
         let q = t.value(student_t_assignments(&t, z, c, 1.0));
         assert!(q[(0, 0)] > q[(0, 1)]);
+    }
+
+    #[test]
+    fn epoch_observer_emits_diag_events_and_renders_a_verdict() {
+        let q = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.1, 0.9], &[0.7, 0.3]]);
+        let ((health, verdict), lines) = obs::test_support::with_memory_sink(|| {
+            let mut obs_ = EpochObserver::new("unit", 2);
+            for epoch in 0..12 {
+                let action = obs_.observe(epoch, 0.5, 0.1, 0.6, &q);
+                assert!(!action.should_abort());
+            }
+            obs_.finish()
+        });
+        assert_eq!(health.verdict, obs::health::Verdict::Healthy);
+        // Constant labels: settled after the first full-churn epoch.
+        assert_eq!(verdict.status, tabledc::ConvergenceStatus::Converged);
+        assert_eq!(verdict.epoch, Some(1));
+        let diags: Vec<_> = lines.iter().filter(|l| l.contains("\"baseline.diag\"")).collect();
+        assert_eq!(diags.len(), 12);
+        let v = obs::json::parse(diags[3]).expect("valid JSON");
+        assert_eq!(v.get("method").unwrap().as_str(), Some("unit"));
+        assert_eq!(v.get("epoch").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("delta_label_frac").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("min_share").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("max_share").unwrap().as_f64(), Some(0.5));
+        assert!(lines.iter().any(|l| l.contains("\"baseline.convergence\"")));
+        // Every event of the fit shares one fit id.
+        let fit_ids: Vec<f64> = diags
+            .iter()
+            .map(|l| obs::json::parse(l).unwrap().get("fit").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(fit_ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn epoch_observer_aborts_on_strict_nan_before_diagnostics() {
+        let q = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (action, lines) = obs::test_support::with_memory_sink(|| {
+            let mut obs_ = EpochObserver::new("unit2", 2);
+            // Install a strict monitor by poking the loss with NaN under a
+            // strict policy.
+            obs_.monitor = obs::HealthMonitor::new(obs::health::Policy::Strict);
+            obs_.observe(0, f64::NAN, 0.1, 0.6, &q)
+        });
+        assert!(action.should_abort());
+        // The aborting epoch emits baseline.epoch but no baseline.diag.
+        assert!(lines.iter().any(|l| l.contains("\"baseline.epoch\"")));
+        assert!(!lines.iter().any(|l| l.contains("\"baseline.diag\"")));
     }
 
     #[test]

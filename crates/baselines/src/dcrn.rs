@@ -18,7 +18,7 @@ use tabledc::target_distribution;
 use tensor::Matrix;
 
 use crate::common::{
-    epoch_health, kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig,
+    kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig, EpochObserver,
 };
 
 /// DCRN model configuration.
@@ -64,7 +64,7 @@ impl Dcrn {
         let mut out = ClusterOutput::from_labels(vec![0; x.rows()]);
         let mut final_q = Matrix::zeros(x.rows(), k);
 
-        let mut monitor = obs::HealthMonitor::from_env();
+        let mut observer = EpochObserver::new("dcrn", k);
         for epoch in 0..cfg.epochs {
             // Two feature-dropout views (the siamese augmentation).
             let view = |r: &mut StdRng| {
@@ -115,7 +115,7 @@ impl Dcrn {
                 kl_val = kl_div_value(&p, &q_val);
                 t.add(t.add(re, t.scale(kl, 0.1)), t.scale(corr_loss, 1.0))
             });
-            if epoch_health(&mut monitor, "dcrn", epoch, re_val, kl_val, loss_val).should_abort() {
+            if observer.observe(epoch, re_val, kl_val, loss_val, &q_val).should_abort() {
                 break;
             }
             out.re_loss.push(re_val);
@@ -124,7 +124,9 @@ impl Dcrn {
         }
 
         out.labels = final_q.argmax_rows();
-        out.health = monitor.report();
+        let (health, convergence) = observer.finish();
+        out.health = health;
+        out.convergence = convergence;
         out
     }
 }

@@ -17,7 +17,7 @@ use tabledc::target_distribution;
 use tensor::Matrix;
 
 use crate::common::{
-    epoch_health, kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig,
+    kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig, EpochObserver,
 };
 
 /// DFCN model configuration.
@@ -63,7 +63,7 @@ impl Dfcn {
         };
         let mut final_q = Matrix::zeros(x.rows(), k);
 
-        let mut monitor = obs::HealthMonitor::from_env();
+        let mut observer = EpochObserver::new("dfcn", k);
         for epoch in 0..cfg.epochs {
             let adj = adj.clone();
             let ae_ref = &ae;
@@ -101,7 +101,7 @@ impl Dfcn {
                 kl_val = kl_div_value(&p, &q_val);
                 t.add(t.add(re_ae, t.scale(re_gcn, 0.1)), t.scale(kl, 0.1))
             });
-            if epoch_health(&mut monitor, "dfcn", epoch, re_val, kl_val, loss_val).should_abort() {
+            if observer.observe(epoch, re_val, kl_val, loss_val, &q_val).should_abort() {
                 break;
             }
             out.re_loss.push(re_val);
@@ -110,7 +110,9 @@ impl Dfcn {
         }
 
         out.labels = final_q.argmax_rows();
-        out.health = monitor.report();
+        let (health, convergence) = observer.finish();
+        out.health = health;
+        out.convergence = convergence;
         out
     }
 }

@@ -16,7 +16,7 @@ use tabledc::target_distribution;
 use tensor::random::xavier_uniform;
 use tensor::Matrix;
 
-use crate::common::{epoch_health, train_step, ClusterOutput, DeepConfig};
+use crate::common::{train_step, ClusterOutput, DeepConfig, EpochObserver};
 
 /// EDESC model configuration.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ impl Edesc {
         let mut out = ClusterOutput::from_labels(vec![0; x.rows()]);
         let mut final_s = Matrix::zeros(x.rows(), k);
 
-        let mut monitor = obs::HealthMonitor::from_env();
+        let mut observer = EpochObserver::new("edesc", k);
         for epoch in 0..cfg.epochs {
             let ae_ref = &ae;
             let eta = self.eta;
@@ -99,7 +99,7 @@ impl Edesc {
                 let _ = latent;
                 t.add(t.add(re, t.scale(kl, 0.1)), t.scale(ortho, 1.0))
             });
-            if epoch_health(&mut monitor, "edesc", epoch, re_val, kl_val, loss_val).should_abort() {
+            if observer.observe(epoch, re_val, kl_val, loss_val, &s_val).should_abort() {
                 break;
             }
             out.re_loss.push(re_val);
@@ -108,7 +108,9 @@ impl Edesc {
         }
 
         out.labels = final_s.argmax_rows();
-        out.health = monitor.report();
+        let (health, convergence) = observer.finish();
+        out.health = health;
+        out.convergence = convergence;
         out
     }
 }

@@ -18,7 +18,7 @@ use tabledc::target_distribution;
 use tensor::Matrix;
 
 use crate::common::{
-    epoch_health, kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig,
+    kmeans_centers, student_t_assignments, train_step, ClusterOutput, DeepConfig, EpochObserver,
 };
 
 /// SDCN model configuration.
@@ -64,7 +64,9 @@ impl Sdcn {
         let mut out = ClusterOutput::from_labels(vec![0; x.rows()]);
         let epsilon = 0.5; // AE-injection mixing weight of the original.
         let mut final_z = Matrix::zeros(x.rows(), k);
-        let mut monitor = obs::HealthMonitor::from_env();
+        // SDCN predicts from the GCN distribution Z, so the structural
+        // diagnostics watch Z rather than the Student-t q.
+        let mut observer = EpochObserver::new("sdcn", k);
 
         for epoch in 0..cfg.epochs {
             let adj = adj.clone();
@@ -116,7 +118,7 @@ impl Sdcn {
                 // Original weights: 0.1·KL(p‖q) + 0.01·KL(p‖Z) + re.
                 t.add(t.add(t.scale(kl_q, 0.1), t.scale(kl_z, 0.01)), re)
             });
-            if epoch_health(&mut monitor, "sdcn", epoch, re_val, kl_val, loss_val).should_abort() {
+            if observer.observe(epoch, re_val, kl_val, loss_val, &z_val).should_abort() {
                 break;
             }
             out.re_loss.push(re_val);
@@ -126,7 +128,9 @@ impl Sdcn {
 
         // SDCN predicts from the GCN distribution Z.
         out.labels = final_z.argmax_rows();
-        out.health = monitor.report();
+        let (health, convergence) = observer.finish();
+        out.health = health;
+        out.convergence = convergence;
         out
     }
 }

@@ -1,0 +1,97 @@
+//! `report` — renders a run-ledger manifest into a self-contained HTML
+//! page.
+//!
+//! ```text
+//! cargo run -p bench --bin report -- <manifest> [flags]
+//!
+//! Flags:
+//!   --diff <manifest>    baseline manifest to diff the run against
+//!                        (metrics + health, via the runs-diff core)
+//!   --trace <file>       JSON-lines trace to fold into a profile section
+//!   --out <path>         write the page to a file instead of stdout
+//!
+//! <manifest> is a manifest file path, or a run id resolved against the
+//! runs directory (`TABLEDC_RUNS_DIR`, default `results/runs`).
+//!
+//! The page is deterministic — identical inputs render byte-identical
+//! HTML — so `results/verify.sh` diffs two renders and the test suite
+//! pins a committed golden page. Exit code 2 on usage or parse failure.
+//! ```
+
+use bench::htmlreport::{render, summarize_trace, TraceSummary};
+use bench::ledger::{runs_dir, RunManifest};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut manifest_arg: Option<String> = None;
+    let mut diff_arg: Option<String> = None;
+    let mut trace_arg: Option<String> = None;
+    let mut out_arg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--diff" => {
+                i += 1;
+                diff_arg = Some(required(&args, i, "--diff"));
+            }
+            "--trace" => {
+                i += 1;
+                trace_arg = Some(required(&args, i, "--trace"));
+            }
+            "--out" => {
+                i += 1;
+                out_arg = Some(required(&args, i, "--out"));
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
+            positional => {
+                if manifest_arg.is_some() {
+                    usage("more than one manifest given");
+                }
+                manifest_arg = Some(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    let manifest_arg = manifest_arg.unwrap_or_else(|| usage("missing manifest"));
+
+    let manifest = load(&manifest_arg);
+    let baseline = diff_arg.as_deref().map(load);
+    let trace: Option<TraceSummary> = trace_arg.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        summarize_trace(&text).unwrap_or_else(|e| fail(&e))
+    });
+
+    let html = render(&manifest, baseline.as_ref(), trace.as_ref());
+    match out_arg {
+        Some(path) => std::fs::write(&path, html)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        None => print!("{html}"),
+    }
+}
+
+/// Resolves a run argument to a manifest path: an existing file wins,
+/// otherwise `<runs_dir>/<arg>.json`.
+fn load(arg: &str) -> RunManifest {
+    let path = if std::path::Path::new(arg).is_file() {
+        arg.to_string()
+    } else {
+        runs_dir().join(format!("{arg}.json")).to_string_lossy().into_owned()
+    };
+    RunManifest::load(&path).unwrap_or_else(|e| fail(&e))
+}
+
+fn required(args: &[String], i: usize, flag: &str) -> String {
+    args.get(i).unwrap_or_else(|| usage(&format!("{flag} needs a value"))).clone()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: report <manifest> [--diff <manifest>] [--trace <file>] [--out <path>]");
+    std::process::exit(2)
+}

@@ -92,6 +92,12 @@ fn main() {
         usage_err(&format!("unknown command {command}"))
     };
 
+    // Open the run-ledger manifest shell before any event is emitted so
+    // the whole trace is stamped with this run's id.
+    let mut manifest = RunManifest::new(&format!("repro-{command}"));
+    manifest.command = format!("repro {command}");
+    obs::set_run_id(&manifest.run_id);
+
     obs::event("repro.start")
         .str("command", &command)
         .str("scale", &format!("{:?}", opts.scale))
@@ -152,6 +158,9 @@ fn main() {
     // tracing; force one final snapshot so the summary always carries
     // steal/busy figures for the whole run.
     runtime::global().record_stats();
+    // Drain the epoch-indexed series into the trace before the summary,
+    // so a trace consumer sees the decimated curves too.
+    obs::series::emit_all();
     // Fold the span tree into the report so perfdiff can compare
     // per-phase self times across runs.
     report.profile = bench::report::PhaseProfile::collect();
@@ -170,7 +179,8 @@ fn main() {
             std::process::exit(1);
         }
     }
-    match write_manifest(&command, &opts, &report).write() {
+    fill_manifest(&mut manifest, &opts, &report);
+    match manifest.write() {
         Ok(path) => eprintln!("# wrote run manifest {path}"),
         Err(e) => eprintln!("# failed to write run manifest: {e}"),
     }
@@ -179,12 +189,11 @@ fn main() {
     }
 }
 
-/// Builds the run-ledger manifest for this invocation: identity, health
-/// roll-up across every fit in the sweep, and the final quality metrics of
-/// each comparison-table cell.
-fn write_manifest(command: &str, opts: &RunOptions, report: &ReproReport) -> RunManifest {
-    let mut manifest = RunManifest::new(&format!("repro-{command}"));
-    manifest.command = format!("repro {command}");
+/// Completes the run-ledger manifest for this invocation: health roll-up
+/// across every fit in the sweep, and the final quality metrics of each
+/// comparison-table cell. A sweep has no single fit to take a structural
+/// convergence verdict from, so `convergence` stays unset here.
+fn fill_manifest(manifest: &mut RunManifest, opts: &RunOptions, report: &ReproReport) {
     manifest.seed = opts.seed;
     manifest.scale = report.scale.clone();
     manifest.epoch_factor = opts.epoch_factor;
@@ -211,7 +220,6 @@ fn write_manifest(command: &str, opts: &RunOptions, report: &ReproReport) -> Run
             manifest.metrics.push((key("acc"), acc));
         }
     }
-    manifest
 }
 
 /// Runs one experiment, returning its rendered output and (for the

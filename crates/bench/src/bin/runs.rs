@@ -4,7 +4,10 @@
 //! cargo run -p bench --bin runs -- <command>
 //!
 //! Commands:
-//!   list                     list manifests in the runs directory
+//!   list [--json]            list manifests in the runs directory,
+//!                            sorted by run timestamp; --json emits one
+//!                            JSON array with id, command, timestamp,
+//!                            health verdict, convergence status, and path
 //!   show <run>               print one manifest's JSON
 //!   diff <base> <cand>       compare two runs' quality metrics and health
 //!     [--ratio R]            worse-than multiplier that flags a metric
@@ -23,7 +26,11 @@ use bench::perfdiff::Tolerance;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("list") => list(),
+        Some("list") => match args.get(1).map(String::as_str) {
+            None => list(false),
+            Some("--json") => list(true),
+            Some(other) => usage(&format!("unknown list flag {other}")),
+        },
         Some("show") => show(args.get(1).unwrap_or_else(|| usage("show needs a run"))),
         Some("diff") => diff(&args[1..]),
         _ => {
@@ -34,7 +41,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: runs <list | show <run> | diff <base> <cand> [--ratio R]>");
+    eprintln!("usage: runs <list [--json] | show <run> | diff <base> <cand> [--ratio R]>");
     std::process::exit(2)
 }
 
@@ -48,28 +55,71 @@ fn resolve(arg: &str) -> String {
     candidate.to_string_lossy().into_owned()
 }
 
-fn list() {
+fn list(json: bool) {
     let dir = runs_dir();
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
+        Err(_) if json => {
+            println!("[]");
+            return;
+        }
         Err(_) => {
             println!("no runs recorded in {}", dir.display());
             return;
         }
     };
-    let mut manifests: Vec<RunManifest> = entries
+    let mut manifests: Vec<(RunManifest, String)> = entries
         .filter_map(Result::ok)
         .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-        .filter_map(|e| RunManifest::load(&e.path().to_string_lossy()).ok())
+        .filter_map(|e| {
+            let path = e.path().to_string_lossy().into_owned();
+            RunManifest::load(&path).ok().map(|m| (m, path))
+        })
         .collect();
-    if manifests.is_empty() {
+    if manifests.is_empty() && !json {
         println!("no runs recorded in {}", dir.display());
         return;
     }
-    manifests.sort_by_key(|m| m.created_unix_ms);
-    for m in &manifests {
-        println!("{}", m.summary_line());
+    // Run timestamp first; the id breaks ties so the order is total.
+    manifests.sort_by(|(a, _), (b, _)| {
+        a.created_unix_ms.cmp(&b.created_unix_ms).then_with(|| a.run_id.cmp(&b.run_id))
+    });
+    if json {
+        print!("{}", render_list_json(&manifests));
+    } else {
+        for (m, _) in &manifests {
+            println!("{}", m.summary_line());
+        }
     }
+}
+
+/// Machine-readable `runs list`: one JSON array, ordered like the plain
+/// listing, built with the same writer the trace sink uses so no JSON
+/// dependency is introduced.
+fn render_list_json(manifests: &[(RunManifest, String)]) -> String {
+    use obs::json::escape_into;
+    let mut out = String::from("[\n");
+    for (i, (m, path)) in manifests.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"run_id\": ");
+        escape_into(&mut out, &m.run_id);
+        out.push_str(", \"command\": ");
+        escape_into(&mut out, &m.command);
+        out.push_str(&format!(", \"created_unix_ms\": {}, \"health\": ", m.created_unix_ms));
+        escape_into(&mut out, &m.health.verdict);
+        out.push_str(", \"convergence\": ");
+        match &m.convergence {
+            Some(c) => escape_into(&mut out, &c.status),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"path\": ");
+        escape_into(&mut out, path);
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 fn show(run: &str) {

@@ -23,6 +23,20 @@
 //!   numeric `epoch`; `health.abort` must be followed (not necessarily
 //!   immediately) by a `health.dump` event whose `path` is a non-empty
 //!   string — an abort without its diagnostic dump is a broken contract;
+//! * when any line carries a `run_id` it is a non-empty string and every
+//!   stamped line agrees on it — two ids in one file means two runs'
+//!   traces were interleaved;
+//! * per-epoch fit events (`tabledc.epoch`, `tabledc.diag`,
+//!   `baseline.epoch`, `baseline.diag`) carry numeric `fit` and `epoch`
+//!   ids, and `epoch` is strictly increasing within each `(event, fit)`
+//!   stream — the fit id disambiguates restarts, so a repeated or
+//!   backwards epoch means a corrupted loop;
+//! * `tabledc.diag`/`baseline.diag` events carry the full structural
+//!   metric set (`share_entropy`, `min_share`, `max_share`,
+//!   `delta_label_frac`, `mean_margin`, `centroid_drift`), all finite,
+//!   with the share/fraction metrics in `[0, 1]` and
+//!   `min_share <= max_share`; `tabledc.epoch` keeps its
+//!   `delta_label_frac` in `[0, 1]` too;
 //! * any `required-event` names passed after the file each appear at
 //!   least once.
 //!
@@ -37,6 +51,77 @@ use obs::json::{parse, Json};
 fn fail(msg: &str) -> ! {
     eprintln!("trace_check: {msg}");
     std::process::exit(1)
+}
+
+/// Per-epoch fit events carry numeric `fit` and `epoch` ids; within one
+/// `(event, fit)` stream the epoch must strictly increase. Keying on the
+/// fit id keeps the check valid across restarts (a second fit in the same
+/// process starts again at epoch 0 under a fresh id).
+fn check_fit_epoch(
+    value: &Json,
+    event: &str,
+    n: usize,
+    fit_epochs: &mut BTreeMap<(String, u64), (f64, usize)>,
+) {
+    let fit = value
+        .get("fit")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail(&format!("line {n}: {event} without numeric fit id")));
+    let epoch = value
+        .get("epoch")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail(&format!("line {n}: {event} without numeric epoch")));
+    if !epoch.is_finite() || epoch < 0.0 {
+        fail(&format!("line {n}: {event} epoch = {epoch} is not a finite nonnegative number"));
+    }
+    let key = (event.to_string(), fit as u64);
+    if let Some((prev, prev_line)) = fit_epochs.get(&key) {
+        if epoch <= *prev {
+            fail(&format!(
+                "line {n}: {event} epoch {epoch} does not increase past {prev} \
+                 (line {prev_line}) within fit {}",
+                fit as u64
+            ));
+        }
+    }
+    fit_epochs.insert(key, (epoch, n));
+}
+
+/// Structural metrics every diagnostics event must carry, with their
+/// range invariants: shares and label churn are fractions, entropy is
+/// normalized, and the extreme shares must be ordered.
+fn check_diag_metrics(value: &Json, event: &str, n: usize) {
+    let metric = |key: &str| -> f64 {
+        let v = value
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(&format!("line {n}: {event} without numeric {key}")));
+        if !v.is_finite() {
+            fail(&format!("line {n}: {event} {key} = {v} is not finite"));
+        }
+        v
+    };
+    let share_entropy = metric("share_entropy");
+    let min_share = metric("min_share");
+    let max_share = metric("max_share");
+    let delta_label_frac = metric("delta_label_frac");
+    metric("mean_margin");
+    metric("centroid_drift");
+    for (key, v) in [
+        ("share_entropy", share_entropy),
+        ("min_share", min_share),
+        ("max_share", max_share),
+        ("delta_label_frac", delta_label_frac),
+    ] {
+        if !(0.0..=1.0).contains(&v) {
+            fail(&format!("line {n}: {event} {key} = {v} outside [0, 1]"));
+        }
+    }
+    if min_share > max_share {
+        fail(&format!(
+            "line {n}: {event} min_share {min_share} exceeds max_share {max_share}"
+        ));
+    }
 }
 
 fn main() {
@@ -59,6 +144,10 @@ fn main() {
     let mut open: BTreeMap<u64, Vec<(String, usize)>> = BTreeMap::new();
     // Line of the last health.abort not yet answered by a health.dump.
     let mut pending_abort: Option<usize> = None;
+    // First run_id stamped in the file, with its line number.
+    let mut run_id: Option<(String, usize)> = None;
+    // Last epoch seen per (event, fit) stream of per-epoch fit events.
+    let mut fit_epochs: BTreeMap<(String, u64), (f64, usize)> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -90,6 +179,24 @@ fn main() {
         if event.is_empty() {
             fail(&format!("line {n}: empty event name"));
         }
+        if let Some(id) = value.get("run_id") {
+            let id = id
+                .as_str()
+                .unwrap_or_else(|| fail(&format!("line {n}: run_id is not a string")));
+            if id.is_empty() {
+                fail(&format!("line {n}: empty run_id"));
+            }
+            match &run_id {
+                Some((first, first_line)) if first != id => fail(&format!(
+                    "line {n}: run_id {id:?} conflicts with {first:?} from line {first_line}"
+                )),
+                Some(_) => {}
+                None => run_id = Some((id.to_string(), n)),
+            }
+        }
+        if matches!(event, "tabledc.epoch" | "tabledc.diag" | "baseline.epoch" | "baseline.diag") {
+            check_fit_epoch(&value, event, n, &mut fit_epochs);
+        }
         match event {
             "nn.grad_norm" => {
                 for key in ["epoch", "global", "update_ratio"] {
@@ -110,6 +217,18 @@ fn main() {
                 }
                 if value.get("epoch").and_then(Json::as_f64).is_none() {
                     fail(&format!("line {n}: health.violation without numeric epoch"));
+                }
+            }
+            "tabledc.diag" | "baseline.diag" => check_diag_metrics(&value, event, n),
+            "tabledc.epoch" => {
+                let frac =
+                    value.get("delta_label_frac").and_then(Json::as_f64).unwrap_or_else(|| {
+                        fail(&format!("line {n}: tabledc.epoch without numeric delta_label_frac"))
+                    });
+                if !(0.0..=1.0).contains(&frac) {
+                    fail(&format!(
+                        "line {n}: tabledc.epoch delta_label_frac = {frac} outside [0, 1]"
+                    ));
                 }
             }
             "health.abort" => pending_abort = Some(n),

@@ -78,6 +78,31 @@ impl Default for HealthSummary {
     }
 }
 
+/// Structural convergence verdict of a run, as persisted in the manifest.
+///
+/// Optional in the schema so manifests written before the diagnostics
+/// layer still parse (they load as `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Verdict (`converged`/`oscillating`/`stalled`/`collapsed`/`unknown`).
+    pub status: String,
+    /// Epoch the deciding rule first fired at, when one did.
+    pub epoch: Option<u64>,
+    /// Human-readable statement of the deciding rule.
+    pub rule: String,
+}
+
+impl ConvergenceSummary {
+    /// Summary of a [`tabledc::ConvergenceVerdict`].
+    pub fn from_verdict(v: &tabledc::ConvergenceVerdict) -> Self {
+        Self {
+            status: v.status.as_str().to_string(),
+            epoch: v.epoch.map(|e| e as u64),
+            rule: v.rule.clone(),
+        }
+    }
+}
+
 /// Per-epoch metric series persisted in the manifest.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LedgerHistory {
@@ -93,6 +118,18 @@ pub struct LedgerHistory {
     pub update_ratio: Vec<f64>,
     /// Wall milliseconds per epoch.
     pub epoch_ms: Vec<f64>,
+    /// Normalized cluster-share entropy per epoch.
+    pub share_entropy: Vec<f64>,
+    /// Smallest cluster share per epoch.
+    pub min_share: Vec<f64>,
+    /// Largest cluster share per epoch (collapse detector).
+    pub max_share: Vec<f64>,
+    /// Fraction of rows whose hard label changed vs the previous epoch.
+    pub delta_label_frac: Vec<f64>,
+    /// Mean `top1 − top2` assignment margin per epoch.
+    pub mean_margin: Vec<f64>,
+    /// Mean L2 centroid step vs the previous epoch.
+    pub centroid_drift: Vec<f64>,
 }
 
 impl LedgerHistory {
@@ -105,10 +142,18 @@ impl LedgerHistory {
             grad_norm: h.grad_norm.clone(),
             update_ratio: h.update_ratio.clone(),
             epoch_ms: h.epoch_ms.clone(),
+            share_entropy: h.share_entropy.clone(),
+            min_share: h.min_share.clone(),
+            max_share: h.max_share.clone(),
+            delta_label_frac: h.delta_label_frac.clone(),
+            mean_margin: h.mean_margin.clone(),
+            centroid_drift: h.centroid_drift.clone(),
         }
     }
 
-    fn series(&self) -> [(&'static str, &Vec<f64>); 6] {
+    /// Every persisted series, in manifest order. Public so the HTML
+    /// report renders one sparkline per entry without naming them twice.
+    pub fn series(&self) -> [(&'static str, &Vec<f64>); 12] {
         [
             ("re_loss", &self.re_loss),
             ("ce_loss", &self.ce_loss),
@@ -116,6 +161,12 @@ impl LedgerHistory {
             ("grad_norm", &self.grad_norm),
             ("update_ratio", &self.update_ratio),
             ("epoch_ms", &self.epoch_ms),
+            ("share_entropy", &self.share_entropy),
+            ("min_share", &self.min_share),
+            ("max_share", &self.max_share),
+            ("delta_label_frac", &self.delta_label_frac),
+            ("mean_margin", &self.mean_margin),
+            ("centroid_drift", &self.centroid_drift),
         ]
     }
 }
@@ -142,6 +193,9 @@ pub struct RunManifest {
     pub env: Vec<(String, String)>,
     /// Health outcome.
     pub health: HealthSummary,
+    /// Structural convergence verdict (`None` for manifests written
+    /// before the diagnostics layer existed).
+    pub convergence: Option<ConvergenceSummary>,
     /// Final quality metrics, keyed `dataset/method/metric`-style by the
     /// producer (compared higher-is-better by [`diff_manifests`]).
     pub metrics: Vec<(String, f64)>,
@@ -173,6 +227,7 @@ impl RunManifest {
             epoch_factor: 1.0,
             env,
             health: HealthSummary::default(),
+            convergence: None,
             metrics: Vec::new(),
             history: LedgerHistory::default(),
         }
@@ -209,7 +264,20 @@ impl RunManifest {
             Some(p) => escape_into(&mut out, p),
             None => out.push_str("null"),
         }
-        out.push_str("},\n  \"metrics\": {");
+        out.push('}');
+        if let Some(c) = &self.convergence {
+            out.push_str(",\n  \"convergence\": {\"status\": ");
+            escape_into(&mut out, &c.status);
+            out.push_str(", \"epoch\": ");
+            match c.epoch {
+                Some(e) => out.push_str(&e.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"rule\": ");
+            escape_into(&mut out, &c.rule);
+            out.push('}');
+        }
+        out.push_str(",\n  \"metrics\": {");
         for (i, (k, v)) in self.metrics.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -270,6 +338,11 @@ impl RunManifest {
             },
             None => return Err("manifest missing \"health\" object".to_string()),
         };
+        let convergence = v.get("convergence").map(|c| ConvergenceSummary {
+            status: c.get("status").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+            epoch: c.get("epoch").and_then(Json::as_f64).map(|e| e as u64),
+            rule: c.get("rule").and_then(Json::as_str).unwrap_or_default().to_string(),
+        });
         let mut metrics = Vec::new();
         match v.get("metrics") {
             Some(Json::Obj(pairs)) => {
@@ -300,6 +373,7 @@ impl RunManifest {
             epoch_factor: num_field("epoch_factor")?,
             env,
             health,
+            convergence,
             metrics,
             history: LedgerHistory {
                 re_loss: series("re_loss"),
@@ -308,6 +382,12 @@ impl RunManifest {
                 grad_norm: series("grad_norm"),
                 update_ratio: series("update_ratio"),
                 epoch_ms: series("epoch_ms"),
+                share_entropy: series("share_entropy"),
+                min_share: series("min_share"),
+                max_share: series("max_share"),
+                delta_label_frac: series("delta_label_frac"),
+                mean_margin: series("mean_margin"),
+                centroid_drift: series("centroid_drift"),
             },
         })
     }
@@ -404,6 +484,11 @@ mod tests {
                 violations: u64::from(verdict != "healthy"),
                 dump_path: None,
             },
+            convergence: Some(ConvergenceSummary {
+                status: "converged".to_string(),
+                epoch: Some(1),
+                rule: "label churn <= 0.010 over the last 10 epochs".to_string(),
+            }),
             metrics: vec![("tabledc/acc".to_string(), acc), ("tabledc/ari".to_string(), ari)],
             history: LedgerHistory {
                 re_loss: vec![1.0, 0.5],
@@ -412,6 +497,12 @@ mod tests {
                 grad_norm: vec![2.0, 1.5],
                 update_ratio: vec![1e-3, 8e-4],
                 epoch_ms: vec![10.0, 9.0],
+                share_entropy: vec![0.9, 0.95],
+                min_share: vec![0.2, 0.3],
+                max_share: vec![0.8, 0.7],
+                delta_label_frac: vec![1.0, 0.0],
+                mean_margin: vec![0.4, 0.5],
+                centroid_drift: vec![0.0, 0.1],
             },
         }
     }
@@ -475,6 +566,44 @@ mod tests {
             "seed":1,"scale":"s","epoch_factor":1.0,"env":{},
             "health":{"policy":"warn","verdict":"healthy","violations":0,"dump_path":null}}"#;
         assert!(RunManifest::from_json(no_metrics).is_err());
+    }
+
+    #[test]
+    fn manifest_without_convergence_still_parses() {
+        // Manifests written before the diagnostics layer carry no
+        // "convergence" object; they must load as None, not error.
+        let mut m = manifest(0.9, 0.8, "healthy");
+        m.convergence = None;
+        let text = m.to_json();
+        assert!(!text.contains("\"convergence\""));
+        let back = RunManifest::from_json(&text).expect("legacy manifest parses");
+        assert_eq!(back.convergence, None);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn convergence_epoch_null_round_trips() {
+        let mut m = manifest(0.9, 0.8, "healthy");
+        m.convergence = Some(ConvergenceSummary {
+            status: "stalled".to_string(),
+            epoch: None,
+            rule: "no rule fired".to_string(),
+        });
+        let back = RunManifest::from_json(&m.to_json()).expect("round trip parses");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn convergence_summary_mirrors_verdict() {
+        let v = tabledc::ConvergenceVerdict {
+            status: tabledc::ConvergenceStatus::Collapsed,
+            epoch: Some(3),
+            rule: "max share >= 0.90".to_string(),
+        };
+        let s = ConvergenceSummary::from_verdict(&v);
+        assert_eq!(s.status, "collapsed");
+        assert_eq!(s.epoch, Some(3));
+        assert_eq!(s.rule, "max share >= 0.90");
     }
 
     #[test]

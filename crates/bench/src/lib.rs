@@ -11,6 +11,7 @@
 //! slices of each experiment.
 
 pub mod experiments;
+pub mod htmlreport;
 pub mod ledger;
 pub mod methods;
 pub mod perfdiff;

@@ -1,0 +1,371 @@
+//! Epoch-indexed time-series recorder with bounded memory.
+//!
+//! A [`Series`] stores named `f64` samples in index order (the index is
+//! implicit: the first `record` is point 0, the next point 1, …). Storage
+//! is a fixed number of *buckets*; each bucket aggregates a contiguous run
+//! of `stride` consecutive points as `{start, count, min, max, sum, last}`.
+//! When the bucket array is full and another bucket is needed, adjacent
+//! bucket pairs are merged and the stride doubles — so a million-epoch run
+//! still occupies at most `capacity` buckets while the *envelope* (global
+//! min/max), the total count, and the sum of every recorded value are
+//! preserved exactly. What decimation loses is intra-bucket ordering, never
+//! the range.
+//!
+//! [`SeriesCell`] is the registry-facing handle: a mutex-wrapped `Series`
+//! created on first use via `registry().series(name)`, snapshotted into
+//! [`crate::Snapshot::series`], rendered by `obs::summary()`, and drained
+//! into the trace sink by [`emit_all`].
+
+use std::sync::Mutex;
+
+/// Aggregate of one contiguous run of recorded points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Index of the first point in this bucket.
+    pub start: u64,
+    /// Number of points aggregated.
+    pub count: u64,
+    /// Smallest finite value in the run (`NAN` if none were finite).
+    pub min: f64,
+    /// Largest finite value in the run (`NAN` if none were finite).
+    pub max: f64,
+    /// Sum of all values in the run (non-finite values poison the sum).
+    pub sum: f64,
+    /// The most recently recorded value in the run.
+    pub last: f64,
+}
+
+impl Bucket {
+    fn new(start: u64, v: f64) -> Self {
+        let (min, max) = if v.is_finite() { (v, v) } else { (f64::NAN, f64::NAN) };
+        Bucket { start, count: 1, min, max, sum: v, last: v }
+    }
+
+    fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            // `f64::min(NAN, v)` returns `v`, so a bucket opened on a
+            // non-finite value still picks up a real envelope later.
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.last = v;
+        self.count += 1;
+    }
+
+    fn absorb(&mut self, next: &Bucket) {
+        debug_assert!(self.start < next.start);
+        self.min = self.min.min(next.min);
+        self.max = self.max.max(next.max);
+        self.sum += next.sum;
+        self.last = next.last;
+        self.count += next.count;
+    }
+}
+
+/// Default bucket capacity used by registry-created series.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// A decimating time series. See the module docs for the storage model.
+#[derive(Debug, Clone)]
+pub struct Series {
+    capacity: usize,
+    stride: u64,
+    buckets: Vec<Bucket>,
+    total: u64,
+}
+
+impl Default for Series {
+    fn default() -> Self {
+        Series::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Series {
+    /// A series holding at most `capacity` buckets. Capacity is clamped to
+    /// an even number ≥ 4 so pair-merging always halves the array.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(4) & !1;
+        Series { capacity, stride: 1, buckets: Vec::new(), total: 0 }
+    }
+
+    /// Appends one point.
+    pub fn record(&mut self, v: f64) {
+        let idx = self.total;
+        self.total += 1;
+        if let Some(open) = self.buckets.last_mut() {
+            if open.count < self.stride {
+                open.record(v);
+                return;
+            }
+        }
+        if self.buckets.len() == self.capacity {
+            self.compact();
+        }
+        self.buckets.push(Bucket::new(idx, v));
+    }
+
+    /// Merges adjacent bucket pairs and doubles the stride.
+    fn compact(&mut self) {
+        let old = std::mem::take(&mut self.buckets);
+        self.buckets.reserve(self.capacity / 2);
+        let mut it = old.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.absorb(&b);
+            }
+            self.buckets.push(a);
+        }
+        self.stride *= 2;
+    }
+
+    /// Total number of points ever recorded.
+    pub fn points(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Current decimation stride (points per full bucket).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The bucket array, in point order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Global minimum over every finite recorded value (`NAN` when none).
+    pub fn min(&self) -> f64 {
+        self.buckets.iter().fold(f64::NAN, |acc, b| acc.min(b.min))
+    }
+
+    /// Global maximum over every finite recorded value (`NAN` when none).
+    pub fn max(&self) -> f64 {
+        self.buckets.iter().fold(f64::NAN, |acc, b| acc.max(b.max))
+    }
+
+    /// Sum of every recorded value.
+    pub fn sum(&self) -> f64 {
+        self.buckets.iter().map(|b| b.sum).sum()
+    }
+
+    /// Mean of every recorded value (`NAN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.sum() / self.total as f64
+        }
+    }
+
+    /// The most recently recorded value (`NAN` when empty).
+    pub fn last(&self) -> f64 {
+        self.buckets.last().map_or(f64::NAN, |b| b.last)
+    }
+}
+
+/// Shared, lock-protected [`Series`] handle stored in the registry.
+#[derive(Debug, Default)]
+pub struct SeriesCell(Mutex<Series>);
+
+impl SeriesCell {
+    /// Appends one point.
+    pub fn record(&self, v: f64) {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).record(v);
+    }
+
+    /// A copy of the current state.
+    pub fn snapshot(&self) -> Series {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// Drains every non-empty registered series into the trace sink as one
+/// `series` event each (name, point count, bucket count, envelope, mean,
+/// last). No-op when tracing is disabled; call once at end of run, next to
+/// `obs::summary()`.
+pub fn emit_all() {
+    if !crate::enabled() {
+        return;
+    }
+    for (name, s) in &crate::registry().snapshot().series {
+        if s.is_empty() {
+            continue;
+        }
+        crate::event("series")
+            .str("name", name)
+            .u64("points", s.points())
+            .u64("buckets", s.buckets().len() as u64)
+            .f64("min", s.min())
+            .f64("max", s.max())
+            .f64("mean", s.mean())
+            .f64("last", s.last())
+            .emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_reports_nan_envelope() {
+        let s = Series::with_capacity(8);
+        assert!(s.is_empty());
+        assert_eq!(s.points(), 0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert!(s.mean().is_nan());
+        assert!(s.last().is_nan());
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn capacity_is_clamped_even_and_at_least_four() {
+        assert_eq!(Series::with_capacity(0).capacity, 4);
+        assert_eq!(Series::with_capacity(5).capacity, 4);
+        assert_eq!(Series::with_capacity(7).capacity, 6);
+        assert_eq!(Series::with_capacity(512).capacity, 512);
+    }
+
+    #[test]
+    fn under_capacity_every_point_is_its_own_bucket() {
+        let mut s = Series::with_capacity(8);
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.buckets().len(), 3);
+        assert_eq!(s.buckets()[1], Bucket { start: 1, count: 1, min: 1.0, max: 1.0, sum: 1.0, last: 1.0 });
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.last(), 2.0);
+        assert_eq!(s.points(), 3);
+    }
+
+    #[test]
+    fn overflow_merges_pairs_and_doubles_stride() {
+        let mut s = Series::with_capacity(4);
+        for i in 0..5 {
+            s.record(i as f64);
+        }
+        // 5th point forced one compaction: [0,1][2,3] merged, stride 2.
+        assert_eq!(s.stride(), 2);
+        assert_eq!(s.buckets().len(), 3);
+        assert_eq!(s.buckets()[0], Bucket { start: 0, count: 2, min: 0.0, max: 1.0, sum: 1.0, last: 1.0 });
+        assert_eq!(s.buckets()[2], Bucket { start: 4, count: 1, min: 4.0, max: 4.0, sum: 4.0, last: 4.0 });
+        assert_eq!(s.points(), 5);
+        assert_eq!(s.sum(), 10.0);
+    }
+
+    #[test]
+    fn long_run_stays_bounded_and_preserves_envelope() {
+        let mut s = Series::with_capacity(8);
+        let n = 100_000u64;
+        for i in 0..n {
+            // A spiky signal: mostly small, one huge outlier mid-run.
+            let v = if i == 41_327 { 9_999.5 } else { (i % 17) as f64 };
+            s.record(v);
+        }
+        assert!(s.buckets().len() <= 8);
+        assert_eq!(s.points(), n);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 9_999.5, "decimation must not lose the outlier");
+        assert_eq!(s.last(), ((n - 1) % 17) as f64);
+        // Buckets tile [0, n) exactly.
+        let covered: u64 = s.buckets().iter().map(|b| b.count).sum();
+        assert_eq!(covered, n);
+        for w in s.buckets().windows(2) {
+            assert_eq!(w[0].start + w[0].count, w[1].start);
+        }
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_the_envelope() {
+        let mut s = Series::with_capacity(4);
+        s.record(f64::NAN);
+        s.record(2.0);
+        s.record(f64::INFINITY);
+        s.record(1.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 2.0);
+        assert_eq!(s.points(), 4);
+    }
+
+    #[test]
+    fn series_cell_is_shareable_and_snapshots() {
+        let cell = SeriesCell::default();
+        cell.record(1.0);
+        cell.record(5.0);
+        let snap = cell.snapshot();
+        assert_eq!(snap.points(), 2);
+        assert_eq!(snap.max(), 5.0);
+        cell.record(9.0);
+        assert_eq!(snap.points(), 2, "snapshot is a copy");
+    }
+
+    proptest::proptest! {
+        /// Decimation preserves the recorded envelope (global min/max),
+        /// the point count, the sum, and the last value — for any input
+        /// and any bucket capacity, including capacities far smaller than
+        /// the input.
+        #[test]
+        fn decimation_preserves_envelope_across_capacities(
+            pool in proptest::collection::vec(-1e6..1e6f64, 400),
+            n in 1..400usize,
+            capacity in 0..24usize,
+        ) {
+            let values = &pool[..n];
+            let mut s = Series::with_capacity(capacity);
+            for &v in values {
+                s.record(v);
+            }
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let sum: f64 = values.iter().sum();
+            proptest::prop_assert!(s.buckets().len() <= s.capacity);
+            proptest::prop_assert_eq!(s.points(), values.len() as u64);
+            proptest::prop_assert_eq!(s.min(), min);
+            proptest::prop_assert_eq!(s.max(), max);
+            proptest::prop_assert_eq!(s.last(), *values.last().unwrap());
+            // Sum is order-dependent in floating point; decimation groups
+            // additions by bucket, so allow slop scaled to the magnitudes
+            // actually added (cancellation can leave `sum` near zero while
+            // partial sums were large).
+            let magnitude: f64 = values.iter().map(|v| v.abs()).sum();
+            let tol = 1e-12 * (1.0 + magnitude) * values.len() as f64;
+            proptest::prop_assert!((s.sum() - sum).abs() <= tol);
+            // Buckets tile [0, n) without gaps or overlap.
+            let covered: u64 = s.buckets().iter().map(|b| b.count).sum();
+            proptest::prop_assert_eq!(covered, values.len() as u64);
+            for w in s.buckets().windows(2) {
+                proptest::prop_assert_eq!(w[0].start + w[0].count, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn emit_all_writes_one_event_per_nonempty_series() {
+        let ((), lines) = crate::test_support::with_memory_sink(|| {
+            crate::registry().series("test.emit_all.a").record(1.0);
+            crate::registry().series("test.emit_all.a").record(3.0);
+            emit_all();
+        });
+        let ours: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"series\"") && l.contains("test.emit_all.a"))
+            .collect();
+        assert_eq!(ours.len(), 1);
+        let v = crate::json::parse(ours[0]).expect("valid JSON");
+        assert_eq!(v.get("points").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("min").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("max").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("mean").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("last").unwrap().as_f64(), Some(3.0));
+    }
+}

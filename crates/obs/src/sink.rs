@@ -26,6 +26,26 @@ use crate::json;
 /// Name of the environment variable selecting the trace sink.
 pub const TRACE_ENV: &str = "TABLEDC_TRACE";
 
+/// The process-wide run id: the raw id plus a pre-escaped `,"run_id":…`
+/// fragment spliced into every event line.
+static RUN_ID: OnceLock<(String, String)> = OnceLock::new();
+
+/// Stamps `run_id` on every trace event written from now on, joining the
+/// trace to the `results/runs/<run-id>.json` manifest. Set once, as early
+/// as possible, by the entry point that owns the run (quickstart/repro);
+/// the first call wins and later calls are ignored.
+pub fn set_run_id(id: &str) {
+    let mut frag = String::with_capacity(id.len() + 12);
+    frag.push_str(",\"run_id\":");
+    json::escape_into(&mut frag, id);
+    let _ = RUN_ID.set((id.to_string(), frag));
+}
+
+/// The run id installed by [`set_run_id`], if any.
+pub fn run_id() -> Option<&'static str> {
+    RUN_ID.get().map(|(raw, _)| raw.as_str())
+}
+
 enum SinkState {
     Disabled,
     Stderr,
@@ -84,9 +104,12 @@ fn write_event(tail: &str) {
     if matches!(*state, SinkState::Disabled) {
         return;
     }
-    let mut line = String::with_capacity(tail.len() + 32);
+    let mut line = String::with_capacity(tail.len() + 64);
     line.push_str("{\"ts_ms\":");
     json::number_into(&mut line, crate::now_ms());
+    if let Some((_, frag)) = RUN_ID.get() {
+        line.push_str(frag);
+    }
     line.push(',');
     line.push_str(tail);
     line.push('}');
@@ -293,6 +316,25 @@ mod tests {
             assert!(ts >= last, "ts went backwards: {ts} < {last}");
             last = ts;
         }
+    }
+
+    /// `set_run_id` is process-global and first-wins, so this test owns
+    /// the value for the whole test binary; other tests look fields up by
+    /// name and tolerate the extra key.
+    #[test]
+    fn run_id_is_stamped_on_every_event_and_first_set_wins() {
+        let ((), lines) = test_support::with_memory_sink(|| {
+            set_run_id("unit-run-1");
+            set_run_id("unit-run-2"); // ignored
+            event("run_id.test").u64("n", 1).emit();
+        });
+        assert_eq!(run_id(), Some("unit-run-1"));
+        let line = lines.iter().find(|l| l.contains("run_id.test")).expect("event captured");
+        let v = parse(line).expect("valid JSON");
+        assert_eq!(v.get("run_id").unwrap().as_str(), Some("unit-run-1"));
+        // run_id sits between ts_ms and the event name, on every line.
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.contains(",\"run_id\":\"unit-run-1\",\"event\":"));
     }
 
     #[test]

@@ -46,11 +46,15 @@
 //! and Figure 4 ablation axes; `crates/baselines` holds the methods TableDC
 //! is compared against; `crates/bench` regenerates every table and figure.
 
+pub mod diagnostics;
 pub mod distance;
 pub mod init;
 pub mod kernel;
 pub mod model;
 
+pub use diagnostics::{
+    ConvergenceStatus, ConvergenceVerdict, DiagnosticsTracker, EpochDiagnostics, VerdictRules,
+};
 pub use distance::{Covariance, Distance};
 pub use init::Init;
 pub use kernel::Kernel;

@@ -12,6 +12,7 @@ use obs::health::{HealthMonitor, HealthReport, Policy, Verdict};
 use rand::rngs::StdRng;
 use tensor::Matrix;
 
+use crate::diagnostics::{self, ConvergenceVerdict, DiagnosticsTracker, VerdictRules};
 use crate::distance::Distance;
 use crate::init::Init;
 use crate::kernel::Kernel;
@@ -122,6 +123,32 @@ pub struct History {
     pub grad_norm: Vec<f64>,
     /// Update-to-parameter-norm ratio `‖Δθ‖/‖θ‖` per epoch.
     pub update_ratio: Vec<f64>,
+    /// Normalized entropy of the hard-label cluster shares per epoch
+    /// (see [`crate::diagnostics::EpochDiagnostics::share_entropy`]).
+    pub share_entropy: Vec<f64>,
+    /// Smallest cluster share per epoch.
+    pub min_share: Vec<f64>,
+    /// Largest cluster share per epoch (collapse detector).
+    pub max_share: Vec<f64>,
+    /// Fraction of rows whose hard label changed vs the previous epoch.
+    pub delta_label_frac: Vec<f64>,
+    /// Mean `top1 − top2` assignment margin per epoch.
+    pub mean_margin: Vec<f64>,
+    /// Mean L2 centroid step vs the previous epoch.
+    pub centroid_drift: Vec<f64>,
+}
+
+impl History {
+    /// Pushes one epoch of structural diagnostics (the loss/gradient
+    /// series are pushed individually by the training loop).
+    pub fn push_diagnostics(&mut self, d: &diagnostics::EpochDiagnostics) {
+        self.share_entropy.push(d.share_entropy);
+        self.min_share.push(d.min_share);
+        self.max_share.push(d.max_share);
+        self.delta_label_frac.push(d.delta_label_frac);
+        self.mean_margin.push(d.mean_margin);
+        self.centroid_drift.push(d.centroid_drift);
+    }
 }
 
 /// A fitted TableDC model.
@@ -149,6 +176,9 @@ pub struct TableDcFit {
     /// [`Verdict::Aborted`], training stopped at that epoch, and
     /// `health.dump_path` names the diagnostic dump.
     pub health: HealthReport,
+    /// Structural convergence verdict (converged / oscillating / stalled /
+    /// collapsed) with the deciding epoch and rule.
+    pub convergence: ConvergenceVerdict,
 }
 
 impl TableDc {
@@ -254,8 +284,12 @@ impl TableDc {
         let mut history = History::default();
         let mut final_q = Matrix::zeros(x.rows(), cfg.k);
         let mut final_m = Matrix::zeros(x.rows(), cfg.k);
-        let mut prev_labels: Option<Vec<usize>> = None;
+        let mut tracker = DiagnosticsTracker::new();
+        let fit_id = diagnostics::next_fit_id();
         let epoch_hist = obs::registry().histogram("tabledc.epoch_ms");
+        let re_series = obs::registry().series("tabledc.re_loss");
+        let kl_series = obs::registry().series("tabledc.kl_pq");
+        let grad_series = obs::registry().series("tabledc.grad_norm");
         let mut monitor = match cfg.health.policy {
             Some(p) => HealthMonitor::new(p),
             None => HealthMonitor::from_env(),
@@ -353,31 +387,31 @@ impl TableDc {
             history.update_ratio.push(stats.update_ratio());
 
             // Per-epoch telemetry: the convergence signal behind Figure 5
-            // plus the delta-label fraction DEC-style methods stop on.
-            // Pure observation — nothing here feeds back into training.
-            let labels_now = q_val.argmax_rows();
-            let delta_label_frac = match &prev_labels {
-                Some(prev) => {
-                    let changed = prev.iter().zip(&labels_now).filter(|(a, b)| a != b).count();
-                    changed as f64 / labels_now.len().max(1) as f64
-                }
-                None => 1.0,
-            };
-            prev_labels = Some(labels_now);
+            // plus the structural diagnostics (cluster shares, churn,
+            // margin, centroid drift). Pure observation — nothing here
+            // feeds back into training.
+            let diag = tracker.observe(&q_val, Some(self.params.get(self.centers)));
+            history.push_diagnostics(&diag);
+            re_series.record(re_val);
+            kl_series.record(kl_pq_val);
+            grad_series.record(stats.global_grad_norm);
+            diagnostics::record_series("tabledc.diag", &diag);
 
             let epoch_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
             history.epoch_ms.push(epoch_ms);
             epoch_hist.record(epoch_ms);
             obs::event("tabledc.epoch")
+                .u64("fit", fit_id)
                 .u64("epoch", epoch as u64)
                 .f64("re_loss", re_val)
                 .f64("ce_loss", ce_val)
                 .f64("kl_pq", kl_pq_val)
-                .f64("delta_label_frac", delta_label_frac)
+                .f64("delta_label_frac", diag.delta_label_frac)
                 .f64("grad_norm", stats.global_grad_norm)
                 .f64("update_ratio", stats.update_ratio())
                 .f64("epoch_ms", epoch_ms)
                 .emit();
+            diagnostics::emit_diag_event("tabledc.diag", None, fit_id, &diag);
 
             final_q = q_val;
             final_m = tape.value(m);
@@ -392,7 +426,22 @@ impl TableDc {
 
         let labels = final_q.argmax_rows();
         let clusters_used = num_clusters(&labels);
-        TableDcFit { labels, q: final_q, m: final_m, history, clusters_used, health: monitor.report() }
+        let convergence = tracker.verdict(cfg.k, &VerdictRules::default());
+        obs::event("tabledc.convergence")
+            .u64("fit", fit_id)
+            .str("status", convergence.status.as_str())
+            .i64("epoch", convergence.epoch.map_or(-1, |e| e as i64))
+            .str("rule", &convergence.rule)
+            .emit();
+        TableDcFit {
+            labels,
+            q: final_q,
+            m: final_m,
+            history,
+            clusters_used,
+            health: monitor.report(),
+            convergence,
+        }
     }
 
     /// Strict-policy abort path: writes the diagnostic dump, emits the
@@ -720,10 +769,23 @@ mod tests {
         assert_eq!(fit.history.epoch_ms.len(), epochs);
         assert_eq!(fit.history.grad_norm.len(), epochs);
         assert_eq!(fit.history.update_ratio.len(), epochs);
+        assert_eq!(fit.history.share_entropy.len(), epochs);
+        assert_eq!(fit.history.min_share.len(), epochs);
+        assert_eq!(fit.history.max_share.len(), epochs);
+        assert_eq!(fit.history.delta_label_frac.len(), epochs);
+        assert_eq!(fit.history.mean_margin.len(), epochs);
+        assert_eq!(fit.history.centroid_drift.len(), epochs);
         assert!(fit.history.grad_norm.iter().all(|v| v.is_finite() && *v >= 0.0));
         assert!(fit.history.update_ratio.iter().all(|v| v.is_finite() && *v >= 0.0));
+        for (lo, hi) in fit.history.min_share.iter().zip(&fit.history.max_share) {
+            assert!((0.0..=1.0).contains(lo) && (0.0..=1.0).contains(hi) && lo <= hi);
+        }
+        assert!(fit.history.delta_label_frac.iter().all(|v| (0.0..=1.0).contains(v)));
         assert_eq!(fit.health.verdict, Verdict::Healthy);
         assert_eq!(fit.health.total_violations, 0);
+        // A healthy full-length fit always carries a decided verdict.
+        assert_ne!(fit.convergence.status, crate::ConvergenceStatus::Unknown);
+        assert!(!fit.convergence.rule.is_empty());
     }
 
     #[test]
@@ -769,6 +831,7 @@ mod tests {
             let v = obs::json::parse(line).expect("valid JSON line");
             for key in [
                 "ts_ms",
+                "fit",
                 "epoch",
                 "re_loss",
                 "ce_loss",
@@ -783,6 +846,33 @@ mod tests {
             let delta = v.get("delta_label_frac").unwrap().as_f64().unwrap();
             assert!((0.0..=1.0).contains(&delta));
         }
+        // Every epoch also carries a tabledc.diag event with the full
+        // structural metric set, on the same fit id.
+        let diag_lines: Vec<&String> =
+            lines.iter().filter(|l| l.contains("\"tabledc.diag\"")).collect();
+        assert_eq!(diag_lines.len(), traced.1.history.re_loss.len());
+        for line in diag_lines {
+            let v = obs::json::parse(line).expect("valid JSON line");
+            for key in [
+                "fit",
+                "epoch",
+                "share_entropy",
+                "min_share",
+                "max_share",
+                "delta_label_frac",
+                "mean_margin",
+                "centroid_drift",
+            ] {
+                assert!(v.get(key).is_some(), "missing {key} in {line}");
+            }
+        }
+        // And exactly one convergence event closes the fit.
+        assert_eq!(lines.iter().filter(|l| l.contains("\"tabledc.convergence\"")).count(), 1);
+        // Diagnostics are observability-only: the traced and untraced fits
+        // reached the same verdict through identical structural series.
+        assert_eq!(untraced.1.convergence, traced.1.convergence);
+        assert_eq!(untraced.1.history.delta_label_frac, traced.1.history.delta_label_frac);
+        assert_eq!(untraced.1.history.centroid_drift, traced.1.history.centroid_drift);
     }
 
     #[test]

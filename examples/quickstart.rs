@@ -12,7 +12,7 @@
 //! allocation columns; `TABLEDC_FOLDED=<path>` writes the tree in
 //! folded-stack format for flamegraph tooling.
 
-use bench::ledger::{HealthSummary, LedgerHistory, RunManifest};
+use bench::ledger::{ConvergenceSummary, HealthSummary, LedgerHistory, RunManifest};
 use clustering::metrics::{accuracy, adjusted_rand_index, normalized_mutual_info};
 use clustering::KMeans;
 use datagen::{generate_mixture, MixtureConfig};
@@ -20,6 +20,11 @@ use tabledc::{TableDc, TableDcConfig};
 use tensor::random::rng;
 
 fn main() {
+    // Open the manifest shell first so every trace event of the run is
+    // stamped with the manifest's run id.
+    let mut manifest = RunManifest::new("quickstart");
+    obs::set_run_id(&manifest.run_id);
+
     // A workload with the geometry the paper targets: dense rows on the
     // unit sphere, correlated features, overlapping clusters.
     let data = generate_mixture(
@@ -58,12 +63,19 @@ fn main() {
         fit.clusters_used
     );
     println!("health: {} ({} violations)", fit.health.verdict.as_str(), fit.health.total_violations);
+    println!(
+        "convergence: {}{} — {}",
+        fit.convergence.status.as_str(),
+        fit.convergence.epoch.map_or(String::new(), |e| format!(" at epoch {e}")),
+        fit.convergence.rule
+    );
 
-    // Persist the run into the ledger (`runs list` / `runs diff`).
-    let mut manifest = RunManifest::new("quickstart");
+    // Persist the run into the ledger (`runs list` / `runs diff` /
+    // `report`).
     manifest.seed = seed;
     manifest.scale = "quickstart".to_string();
     manifest.health = HealthSummary::from_report(&fit.health);
+    manifest.convergence = Some(ConvergenceSummary::from_verdict(&fit.convergence));
     manifest.metrics = vec![
         ("tabledc/ari".to_string(), adjusted_rand_index(&fit.labels, &data.labels)),
         ("tabledc/acc".to_string(), accuracy(&fit.labels, &data.labels)),
@@ -88,6 +100,9 @@ fn main() {
 
     if obs::enabled() {
         runtime::global().record_stats();
+        // Drain the epoch-indexed series into the trace before the
+        // summary, so a trace consumer sees the decimated curves too.
+        obs::series::emit_all();
         eprintln!("{}", obs::summary());
         eprintln!("{}", obs::profile::report());
     }

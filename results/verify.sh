@@ -21,7 +21,15 @@
 #      manifest against itself must pass (exit 0) and the committed
 #      fixture pair (baseline vs doctored metric drop + aborted verdict)
 #      must fail (exit 1).
-#   5. repro table2 compared against the committed
+#   5. report gate: the committed fixture manifest must render to HTML
+#      byte-identically across two separate processes and match the
+#      committed golden page; the page must carry the expected section
+#      ids and sparklines and never the literal NaN; the diff render of
+#      the doctored fixture must flag the regression; the quickstart
+#      manifest + trace must render with convergence verdict, diag
+#      sparklines, and a span-tree profile; `runs list --json` must
+#      emit the quickstart run.
+#   6. repro table2 compared against the committed
 #      results/BENCH_baseline.json with perfdiff: per-experiment and
 #      per-method wall times and per-phase profile self-times must stay
 #      within TABLEDC_PERF_TOL (default 1.5x, plus absolute floors so
@@ -54,7 +62,8 @@ quickstart_out=$(TABLEDC_TRACE="$trace_file" TABLEDC_PROFILE=alloc TABLEDC_FOLDE
     TABLEDC_HEALTH=strict TABLEDC_RUNS_DIR="$runs_dir" \
     cargo run --release -q -p bench --example quickstart)
 cargo run --release -q -p bench --bin trace_check -- "$trace_file" \
-    ae.pretrain_epoch tabledc.epoch nn.grad_norm span.enter span.exit
+    ae.pretrain_epoch tabledc.epoch tabledc.diag tabledc.convergence series \
+    nn.grad_norm span.enter span.exit
 test -s "$folded_file" || { echo "folded export is empty"; exit 1; }
 grep -q '^tabledc\.fit;' "$folded_file" \
     || { echo "folded export has no tabledc.fit subtree"; cat "$folded_file"; exit 1; }
@@ -68,6 +77,8 @@ grep -q '"verdict": "healthy"' "$manifest" \
     || { echo "manifest verdict is not healthy"; cat "$manifest"; exit 1; }
 grep -q '"violations": 0' "$manifest" \
     || { echo "manifest records violations"; cat "$manifest"; exit 1; }
+grep -q '"convergence"' "$manifest" \
+    || { echo "manifest carries no convergence verdict"; cat "$manifest"; exit 1; }
 # `runs show` re-parses the manifest; any schema breakage exits 2 here.
 cargo run --release -q -p bench --bin runs -- show "$manifest" > /dev/null
 cargo run --release -q -p bench --bin runs -- diff "$manifest" "$manifest"
@@ -78,6 +89,35 @@ fixture_rc=$?
 set -e
 test "$fixture_rc" -eq 1 \
     || { echo "expected runs diff exit 1 on the doctored fixture, got $fixture_rc"; exit 1; }
+
+echo "== report gate: deterministic HTML run reports =="
+html_a=$(mktemp /tmp/tabledc_report_a.XXXXXX.html)
+html_b=$(mktemp /tmp/tabledc_report_b.XXXXXX.html)
+trap 'rm -f "$trace_file" "$folded_file" "$perf_file" "$html_a" "$html_b"; rm -rf "$runs_dir"' EXIT
+cargo run --release -q -p bench --bin report -- results/runs/fixture-baseline.json --out "$html_a"
+cargo run --release -q -p bench --bin report -- results/runs/fixture-baseline.json --out "$html_b"
+cmp -s "$html_a" "$html_b" \
+    || { echo "report is not deterministic across two renders"; exit 1; }
+cmp -s "$html_a" results/runs/fixture-baseline.html \
+    || { echo "report diverges from the committed golden page; regenerate it with"; \
+         echo "  cargo run -p bench --bin report -- results/runs/fixture-baseline.json --out results/runs/fixture-baseline.html"; exit 1; }
+for id in run-header health convergence metrics series spark-re_loss spark-delta_label_frac; do
+    grep -q "id=\"$id\"" "$html_a" \
+        || { echo "report is missing element id $id"; exit 1; }
+done
+! grep -q 'NaN' "$html_a" || { echo "report contains a NaN literal"; exit 1; }
+cargo run --release -q -p bench --bin report -- results/runs/fixture-regressed.json \
+    --diff results/runs/fixture-baseline.json --out "$html_b"
+grep -q 'id="diff"' "$html_b" || { echo "diff render has no diff section"; exit 1; }
+grep -q 'tabledc/ari' "$html_b" \
+    || { echo "diff render does not flag the doctored metric"; exit 1; }
+# The traced quickstart run renders with its trace folded in.
+cargo run --release -q -p bench --bin report -- "$manifest" --trace "$trace_file" --out "$html_a"
+grep -q 'id="profile"' "$html_a" || { echo "traced render has no profile section"; exit 1; }
+grep -q 'id="convergence"' "$html_a" || { echo "traced render has no convergence section"; exit 1; }
+TABLEDC_RUNS_DIR="$runs_dir" cargo run --release -q -p bench --bin runs -- list --json \
+    | grep -q '"run_id": "quickstart-' \
+    || { echo "runs list --json does not list the quickstart run"; exit 1; }
 
 echo "== perf gate: repro table2 vs committed baseline (health checks off) =="
 # --epoch-factor 0.35 matches how results/BENCH_baseline.json was
